@@ -1,0 +1,210 @@
+(* crisp_sim: command-line front end for the CRISP reproduction.
+
+   Subcommands:
+     simulate    run one workload on the cycle-level core
+     profile     print the software profiling report for a workload
+     slices      print the criticality tagging for a workload
+     experiments regenerate paper tables/figures
+     list        list the workload catalog *)
+
+open Cmdliner
+
+let workload_arg =
+  let doc = "Workload name (see the `list' subcommand)." in
+  Arg.(value & opt string "pointer_chase" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let instrs_arg =
+  let doc = "Dynamic micro-ops to simulate." in
+  Arg.(value & opt int 100_000 & info [ "n"; "instrs" ] ~docv:"N" ~doc)
+
+let train_arg =
+  let doc = "Dynamic micro-ops profiled on the train input." in
+  Arg.(value & opt int 80_000 & info [ "train-instrs" ] ~docv:"N" ~doc)
+
+let sched_arg =
+  let doc = "Scheduler variant: ooo, crisp, ibda-1k, ibda-8k, ibda-64k, ibda-inf, random." in
+  Arg.(value & opt string "crisp" & info [ "s"; "scheduler" ] ~docv:"SCHED" ~doc)
+
+let rs_arg =
+  let doc = "Reservation-station entries." in
+  Arg.(value & opt int 96 & info [ "rs" ] ~docv:"N" ~doc)
+
+let rob_arg =
+  let doc = "Reorder-buffer entries." in
+  Arg.(value & opt int 224 & info [ "rob" ] ~docv:"N" ~doc)
+
+let threshold_arg =
+  let doc = "Miss-contribution threshold T for delinquent-load selection." in
+  Arg.(value & opt float 0.01 & info [ "t"; "threshold" ] ~docv:"T" ~doc)
+
+let base_config ~rs ~rob =
+  if rs = 96 && rob = 224 then Cpu_config.skylake
+  else Cpu_config.with_window ~rs ~rob Cpu_config.skylake
+
+let variant_of_string threshold = function
+  | "ooo" -> Ok Runner.Ooo
+  | "crisp" ->
+    Ok
+      (Runner.Crisp
+         ( Classifier.with_miss_contribution threshold Classifier.default,
+           Tagger.default_options ))
+  | "ibda-1k" -> Ok (Runner.Ibda Ibda.ist_1k)
+  | "ibda-8k" -> Ok (Runner.Ibda Ibda.ist_8k)
+  | "ibda-64k" -> Ok (Runner.Ibda Ibda.ist_64k)
+  | "ibda-inf" -> Ok (Runner.Ibda Ibda.ist_infinite)
+  | other -> Error other
+
+let simulate workload instrs train_instrs sched rs rob threshold =
+  let cfg = base_config ~rs ~rob in
+  let cfg =
+    if sched = "random" then Cpu_config.with_policy Scheduler.Random_ready cfg else cfg
+  in
+  let variant =
+    if sched = "random" then Runner.Ooo
+    else
+      match variant_of_string threshold sched with
+      | Ok v -> v
+      | Error other ->
+        Printf.eprintf "unknown scheduler %S\n" other;
+        exit 2
+  in
+  let outcome =
+    Runner.evaluate ~cfg ~eval_instrs:instrs ~train_instrs ~name:workload variant
+  in
+  Printf.printf "%s on %s (%d micro-ops):\n" sched workload instrs;
+  Format.printf "%a" Cpu_stats.pp_summary outcome.Runner.stats;
+  (match outcome.Runner.artifacts with
+  | Some a ->
+    Printf.printf "tagging: %d static pcs, %.1f%% of the dynamic stream\n"
+      a.Fdo.tagging.Tagger.static_count
+      (100. *. a.Fdo.tagging.Tagger.dynamic_ratio)
+  | None -> ());
+  if sched <> "ooo" then begin
+    let base =
+      Runner.evaluate ~cfg ~eval_instrs:instrs ~train_instrs ~name:workload Runner.Ooo
+    in
+    Printf.printf "speedup over OOO: %+.1f%%\n"
+      (100.
+      *. ((Cpu_stats.ipc outcome.Runner.stats /. Cpu_stats.ipc base.Runner.stats) -. 1.))
+  end
+
+let profile workload instrs =
+  let w = Catalog.make ~input:Workload.Train ~instrs workload in
+  let trace = Workload.trace w in
+  let r = Profiler.profile trace in
+  Printf.printf "%s (train input, %d micro-ops):\n" workload r.Profiler.total_instrs;
+  Printf.printf "  loads %d  LLC misses %d  branches %d  mispredicts %d\n"
+    r.Profiler.total_loads r.Profiler.total_llc_misses r.Profiler.total_branches
+    r.Profiler.total_mispredicts;
+  let loads =
+    Hashtbl.fold (fun pc e acc -> (pc, e) :: acc) r.Profiler.loads []
+    |> List.sort (fun (_, a) (_, b) ->
+           compare b.Profiler.llc_misses a.Profiler.llc_misses)
+  in
+  Printf.printf "  top loads by LLC misses:\n";
+  List.iteri
+    (fun i (pc, (e : Profiler.load_stats)) ->
+      if i < 10 && e.Profiler.llc_misses > 0 then
+        Printf.printf "    pc %4d: execs %6d  miss%% %5.1f  stride %4.2f  mlp %4.1f\n" pc
+          e.Profiler.execs
+          (100. *. Profiler.miss_ratio e)
+          (Profiler.stride_ratio e) (Profiler.avg_mlp e))
+    loads;
+  let branches =
+    Hashtbl.fold (fun pc e acc -> (pc, e) :: acc) r.Profiler.branch_table []
+    |> List.sort (fun (_, a) (_, b) ->
+           compare b.Profiler.b_mispredicts a.Profiler.b_mispredicts)
+  in
+  Printf.printf "  top branches by mispredictions:\n";
+  List.iteri
+    (fun i (pc, (e : Profiler.branch_stats)) ->
+      if i < 5 && e.Profiler.b_mispredicts > 0 then
+        Printf.printf "    pc %4d: execs %6d  mispredict%% %5.1f\n" pc e.Profiler.b_execs
+          (100. *. Profiler.mispredict_ratio e))
+    branches
+
+let slices workload instrs threshold =
+  let w = Catalog.make ~input:Workload.Train ~instrs workload in
+  let artifacts =
+    Fdo.analyze
+      ~thresholds:(Classifier.with_miss_contribution threshold Classifier.default)
+      w
+  in
+  let t = artifacts.Fdo.tagging in
+  Printf.printf "%s: %d slices, %d static critical pcs, %.1f%% dynamic ratio\n" workload
+    (List.length t.Tagger.slices) t.Tagger.static_count
+    (100. *. t.Tagger.dynamic_ratio);
+  List.iter
+    (fun (s : Tagger.slice_info) ->
+      Printf.printf "  %s slice @ pc %d: %d static, %.1f dynamic avg, contribution %d%s\n"
+        (match s.Tagger.kind with
+         | `Load -> "load  "
+         | `Branch -> "branch"
+         | `Long_op -> "longop")
+        s.Tagger.root_pc s.Tagger.static_size s.Tagger.avg_dynamic_length
+        s.Tagger.contribution
+        (if s.Tagger.dropped then "  [dropped]" else ""))
+    t.Tagger.slices
+
+let list_workloads () =
+  List.iter
+    (fun name ->
+      let w = Catalog.make ~instrs:1 name in
+      Printf.printf "%-14s %s\n" name w.Workload.description)
+    Catalog.names
+
+let figures_arg =
+  let doc = "Figures to regenerate (default: all)." in
+  Arg.(value & pos_all string [] & info [] ~docv:"FIGURE" ~doc)
+
+let experiments figures instrs train_instrs =
+  let sizes = { Experiments.eval_instrs = instrs; train_instrs } in
+  let run_one = function
+    | "table1" -> Experiments.table1 ()
+    | "motivating" -> ignore (Experiments.motivating ~sizes ())
+    | "fig1" -> ignore (Experiments.fig1 ~sizes ())
+    | "fig3" -> ignore (Experiments.fig3 ())
+    | "fig4" -> ignore (Experiments.fig4 ~sizes ())
+    | "fig7" -> ignore (Experiments.fig7 ~sizes ())
+    | "fig8" -> ignore (Experiments.fig8 ~sizes ())
+    | "fig9" -> ignore (Experiments.fig9 ~sizes ())
+    | "fig10" -> ignore (Experiments.fig10 ~sizes ())
+    | "fig11" -> ignore (Experiments.fig11 ~sizes ())
+    | "fig12" -> ignore (Experiments.fig12 ~sizes ())
+    | "ablations" -> ignore (Experiments.ablations ~sizes ())
+    | "division" -> ignore (Experiments.division ~sizes ())
+    | other -> Printf.eprintf "unknown figure %S\n" other
+  in
+  match figures with
+  | [] -> Experiments.run_all ~sizes ()
+  | figures -> List.iter run_one figures
+
+let simulate_cmd =
+  let info = Cmd.info "simulate" ~doc:"Run one workload on the cycle-level core." in
+  Cmd.v info
+    Term.(
+      const simulate $ workload_arg $ instrs_arg $ train_arg $ sched_arg $ rs_arg
+      $ rob_arg $ threshold_arg)
+
+let profile_cmd =
+  let info = Cmd.info "profile" ~doc:"Print the software profiling report." in
+  Cmd.v info Term.(const profile $ workload_arg $ instrs_arg)
+
+let slices_cmd =
+  let info = Cmd.info "slices" ~doc:"Print the criticality tagging and its slices." in
+  Cmd.v info Term.(const slices $ workload_arg $ instrs_arg $ threshold_arg)
+
+let experiments_cmd =
+  let info = Cmd.info "experiments" ~doc:"Regenerate paper tables and figures." in
+  Cmd.v info Term.(const experiments $ figures_arg $ instrs_arg $ train_arg)
+
+let list_cmd =
+  let info = Cmd.info "list" ~doc:"List the workload catalog." in
+  Cmd.v info Term.(const list_workloads $ const ())
+
+let () =
+  let info =
+    Cmd.info "crisp_sim" ~version:"1.0.0"
+      ~doc:"CRISP critical-slice prefetching: simulator and analysis tools"
+  in
+  exit (Cmd.eval (Cmd.group info [ simulate_cmd; profile_cmd; slices_cmd; experiments_cmd; list_cmd ]))

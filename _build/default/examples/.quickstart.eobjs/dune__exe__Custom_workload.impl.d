@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Array Classifier Cpu_config Cpu_core Cpu_stats Fdo Isa Kernel_util List Mem_builder Printf Prng Program Scheduler String Tagger Workload

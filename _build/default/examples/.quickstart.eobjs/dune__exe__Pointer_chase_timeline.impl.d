@@ -1,0 +1,1 @@
+examples/pointer_chase_timeline.ml: Catalog Cpu_config Cpu_core Cpu_stats Fdo Printf Report Scheduler Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Catalog Classifier Cpu_config Cpu_core Cpu_stats Executor Fdo List Printf Scheduler Sys Tagger Workload

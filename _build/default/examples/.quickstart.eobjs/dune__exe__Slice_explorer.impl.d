@@ -1,0 +1,1 @@
+examples/slice_explorer.ml: Array Catalog Classifier Deps Executor Format Ibda List Printf Profiler Program Slicer String Sys Workload

@@ -1,0 +1,48 @@
+(* Inspect load- and branch-slice extraction on any workload, and contrast
+   the software slicer (which follows dependencies through memory) with
+   the IBDA hardware baseline (which cannot).
+
+     dune exec examples/slice_explorer.exe [workload]   # default: namd *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "namd" in
+  let w = Catalog.make ~input:Workload.Train ~instrs:60_000 name in
+  let trace = Workload.trace w in
+  let report = Profiler.profile trace in
+  let classification = Classifier.classify report Classifier.default in
+  let deps = Deps.compute trace in
+  Printf.printf "workload %s: %d delinquent loads, %d hard branches\n\n" name
+    (List.length classification.Classifier.delinquent_loads)
+    (List.length classification.Classifier.hard_branches);
+  let show_slice kind root_pc =
+    let full = Slicer.extract trace deps ~root_pc in
+    let registers_only = Slicer.extract ~follow_memory:false trace deps ~root_pc in
+    Printf.printf "%s slice rooted at pc %d:\n" kind root_pc;
+    Printf.printf "  with memory deps    %3d static / %.1f dynamic avg\n"
+      (Slicer.size full) full.Slicer.avg_dynamic_length;
+    Printf.printf "  registers only      %3d static (what IBDA hardware can see)\n"
+      (Slicer.size registers_only);
+    let missed =
+      List.filter (fun pc -> not registers_only.Slicer.pcs.(pc)) full.Slicer.pc_list
+    in
+    if missed <> [] then
+      Printf.printf "  invisible to IBDA   pcs %s\n"
+        (String.concat ", " (List.map string_of_int missed));
+    Printf.printf "  members:\n";
+    List.iter
+      (fun pc ->
+        Format.printf "    %4d: %a@." pc Program.pp_decoded
+          trace.Executor.prog.Program.code.(pc))
+      full.Slicer.pc_list;
+    print_newline ()
+  in
+  List.iteri
+    (fun i (pc, _) -> if i < 2 then show_slice "load" pc)
+    classification.Classifier.delinquent_loads;
+  List.iteri
+    (fun i (pc, _) -> if i < 1 then show_slice "branch" pc)
+    classification.Classifier.hard_branches;
+  (* contrast with online IBDA coverage *)
+  let ibda = Ibda.analyze Ibda.ist_1k trace in
+  Printf.printf "IBDA (1K-entry IST): %d static pcs tagged, %d dynamic, %d evictions\n"
+    ibda.Ibda.tagged_static ibda.Ibda.tagged_dynamic ibda.Ibda.ist_evictions

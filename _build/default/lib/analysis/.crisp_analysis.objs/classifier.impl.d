@@ -1,0 +1,1 @@
+lib/analysis/classifier.ml: Float Hashtbl List Profiler

@@ -1,0 +1,1 @@
+lib/analysis/classifier.mli: Profiler

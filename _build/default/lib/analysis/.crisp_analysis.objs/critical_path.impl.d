@@ -1,0 +1,1 @@
+lib/analysis/critical_path.ml: Array Deps Executor Hashtbl List Option Program Stack

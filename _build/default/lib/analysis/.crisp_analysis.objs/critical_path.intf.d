@@ -1,0 +1,1 @@
+lib/analysis/critical_path.mli: Deps Executor

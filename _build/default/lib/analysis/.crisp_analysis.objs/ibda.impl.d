@@ -1,0 +1,1 @@
+lib/analysis/ibda.ml: Array Bytes Executor Hashtbl Isa Memory_system

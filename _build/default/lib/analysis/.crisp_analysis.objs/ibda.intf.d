@@ -1,0 +1,1 @@
+lib/analysis/ibda.mli: Bytes Executor Memory_system

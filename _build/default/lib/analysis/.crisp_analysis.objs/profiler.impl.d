@@ -1,0 +1,1 @@
+lib/analysis/profiler.ml: Array Dram Executor Hashtbl Isa Memory_system Option Program Queue Tage

@@ -1,0 +1,1 @@
+lib/analysis/profiler.mli: Executor Hashtbl Memory_system

@@ -1,0 +1,1 @@
+lib/analysis/slicer.ml: Array Deps Executor Format Hashtbl List Program Stack String

@@ -1,0 +1,1 @@
+lib/analysis/slicer.mli: Deps Executor Format

@@ -1,0 +1,1 @@
+lib/analysis/tagger.ml: Array Classifier Critical_path Deps Executor Hashtbl Isa List Memory_system Profiler Program Slicer

@@ -1,0 +1,1 @@
+lib/analysis/tagger.mli: Classifier Deps Executor Profiler

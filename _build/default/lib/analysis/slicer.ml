@@ -1,0 +1,94 @@
+type t = {
+  root_pc : int;
+  pcs : bool array;
+  pc_list : int list;
+  instances : int;
+  avg_dynamic_length : float;
+  edges : (int * int) list;
+}
+
+(* Indices of dynamic instances of [pc], sampled evenly, at most [n]. *)
+let sample_instances dyns pc n =
+  let all = ref [] in
+  let count = ref 0 in
+  Array.iteri
+    (fun i (d : Executor.dyn) ->
+      if d.Executor.pc = pc then begin
+        all := i :: !all;
+        incr count
+      end)
+    dyns;
+  let all = Array.of_list (List.rev !all) in
+  let total = Array.length all in
+  if total <= n then Array.to_list all
+  else List.init n (fun k -> all.(k * total / n))
+
+(* Walk one dynamic instance backward.  Per the paper an ancestor whose
+   static pc is already in this instance's slice is not expanded further
+   (recursive dependencies across loop iterations terminate).  Termination
+   is per instance so every instance reports its full dynamic slice length;
+   the static pcs of all instances are merged into [in_slice].  Returns the
+   number of dynamic instructions visited. *)
+let walk_instance dyns (deps : Deps.t) ~follow_memory ~in_slice ~edges root_idx =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.add seen dyns.(root_idx).Executor.pc ();
+  let frontier = Stack.create () in
+  Stack.push root_idx frontier;
+  let visited = ref 0 in
+  while not (Stack.is_empty frontier) do
+    let i = Stack.pop frontier in
+    incr visited;
+    let consumer_pc = dyns.(i).Executor.pc in
+    let explore p =
+      if p >= 0 then begin
+        let ppc = dyns.(p).Executor.pc in
+        if not (Hashtbl.mem edges (ppc, consumer_pc)) then
+          Hashtbl.add edges (ppc, consumer_pc) ();
+        in_slice.(ppc) <- true;
+        if not (Hashtbl.mem seen ppc) then begin
+          Hashtbl.add seen ppc ();
+          Stack.push p frontier
+        end
+      end
+    in
+    explore deps.Deps.prod1.(i);
+    explore deps.Deps.prod2.(i);
+    if follow_memory then explore deps.Deps.prod_mem.(i)
+  done;
+  !visited
+
+let extract ?(max_instances = 32) ?(follow_memory = true) (trace : Executor.t)
+    (deps : Deps.t) ~root_pc =
+  let dyns = trace.Executor.dyns in
+  let num_pcs = Array.length trace.Executor.prog.Program.code in
+  if root_pc < 0 || root_pc >= num_pcs then invalid_arg "Slicer.extract: bad root pc";
+  let in_slice = Array.make num_pcs false in
+  in_slice.(root_pc) <- true;
+  let edges = Hashtbl.create 64 in
+  let roots = sample_instances dyns root_pc max_instances in
+  let total_len = ref 0 in
+  List.iter
+    (fun root_idx ->
+      total_len :=
+        !total_len + walk_instance dyns deps ~follow_memory ~in_slice ~edges root_idx)
+    roots;
+  let instances = List.length roots in
+  let pc_list = ref [] in
+  for pc = num_pcs - 1 downto 0 do
+    if in_slice.(pc) then pc_list := pc :: !pc_list
+  done;
+  { root_pc;
+    pcs = in_slice;
+    pc_list = !pc_list;
+    instances;
+    avg_dynamic_length =
+      (if instances = 0 then 0. else float_of_int !total_len /. float_of_int instances);
+    edges = Hashtbl.fold (fun e () acc -> e :: acc) edges [] }
+
+let size t = List.length t.pc_list
+
+let pp fmt t =
+  Format.fprintf fmt "slice root pc %d: %d static instructions (%.1f dynamic avg over %d instances)@."
+    t.root_pc (size t) t.avg_dynamic_length t.instances;
+  Format.fprintf fmt "  pcs: %s@."
+    (String.concat ", " (List.map string_of_int t.pc_list))

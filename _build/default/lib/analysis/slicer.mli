@@ -1,0 +1,38 @@
+(** Backward slice extraction from a dynamic trace (paper Section 3.3).
+
+    Starting from each dynamic instance of a delinquent load (or hard
+    branch), the slicer walks the trace in reverse program order along data
+    dependencies — through registers {e and through memory} — maintaining a
+    frontier of unexplored ancestors.  Expansion of an ancestor stops when
+    its static pc is already in the slice (the recursive-dependency
+    termination of Figure 3), when an operand has no producer in the trace,
+    or when the start of the trace is reached.  Slices of multiple dynamic
+    instances of the same root are merged, as the paper's tooling does. *)
+
+type t = {
+  root_pc : int;
+  pcs : bool array;  (** static membership map, indexed by pc *)
+  pc_list : int list;  (** members in increasing pc order, root included *)
+  instances : int;  (** dynamic root instances analysed *)
+  avg_dynamic_length : float;
+      (** mean number of dynamic instructions per instance slice — the
+          load slice size of Figure 4 *)
+  edges : (int * int) list;  (** static dependency edges producer -> consumer *)
+}
+
+val extract :
+  ?max_instances:int ->
+  ?follow_memory:bool ->
+  Executor.t ->
+  Deps.t ->
+  root_pc:int ->
+  t
+(** [max_instances] dynamic roots are sampled evenly over the trace
+    (default 32).  [follow_memory] (default [true]) enables the
+    dependency-through-memory edges that distinguish CRISP from IBDA;
+    disable it for the ablation. *)
+
+val size : t -> int
+(** Number of static instructions in the merged slice. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/branch/tage.ml: Array Bimodal Bytes Char List Prng

@@ -1,0 +1,20 @@
+type t = {
+  mask : int;
+  counters : Bytes.t;  (* 2-bit saturating counters, one byte each *)
+}
+
+let create ?(entries = 4096) () =
+  if entries land (entries - 1) <> 0 then invalid_arg "Bimodal.create: not a power of two";
+  { mask = entries - 1; counters = Bytes.make entries '\001' }
+
+let index t pc = pc land t.mask
+
+let counter t ~pc = Char.code (Bytes.get t.counters (index t pc))
+
+let predict t ~pc = counter t ~pc >= 2
+
+let update t ~pc ~taken =
+  let i = index t pc in
+  let c = Char.code (Bytes.get t.counters i) in
+  let c = if taken then min 3 (c + 1) else max 0 (c - 1) in
+  Bytes.set t.counters i (Char.chr c)

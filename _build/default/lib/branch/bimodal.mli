@@ -1,0 +1,14 @@
+(** Bimodal branch predictor: a table of 2-bit saturating counters indexed
+    by pc.  Serves as the base component of {!Tage} and as a standalone
+    baseline predictor. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** [entries] must be a power of two (default 4096). *)
+
+val predict : t -> pc:int -> bool
+val update : t -> pc:int -> taken:bool -> unit
+
+val counter : t -> pc:int -> int
+(** Raw 2-bit counter value for the pc's entry, for tests. *)

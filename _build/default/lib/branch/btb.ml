@@ -1,0 +1,54 @@
+type way = {
+  mutable pc : int;  (* -1 = invalid *)
+  mutable target : int;
+  mutable lru : int;  (* higher = more recently used *)
+}
+
+type t = {
+  sets : way array array;
+  set_mask : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(entries = 8192) ?(assoc = 4) () =
+  if entries mod assoc <> 0 then invalid_arg "Btb.create: entries not a multiple of assoc";
+  let num_sets = entries / assoc in
+  if num_sets land (num_sets - 1) <> 0 then
+    invalid_arg "Btb.create: number of sets not a power of two";
+  let set _ = Array.init assoc (fun _ -> { pc = -1; target = -1; lru = 0 }) in
+  { sets = Array.init num_sets set; set_mask = num_sets - 1; clock = 0; hits = 0;
+    misses = 0 }
+
+let set_of t pc = t.sets.(pc land t.set_mask)
+
+let lookup t ~pc =
+  let set = set_of t pc in
+  t.clock <- t.clock + 1;
+  let found = Array.find_opt (fun w -> w.pc = pc) set in
+  match found with
+  | Some w ->
+    w.lru <- t.clock;
+    t.hits <- t.hits + 1;
+    Some w.target
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let update t ~pc ~target =
+  let set = set_of t pc in
+  t.clock <- t.clock + 1;
+  match Array.find_opt (fun w -> w.pc = pc) set with
+  | Some w ->
+    w.target <- target;
+    w.lru <- t.clock
+  | None ->
+    let victim = ref set.(0) in
+    Array.iter (fun w -> if w.lru < !victim.lru then victim := w) set;
+    !victim.pc <- pc;
+    !victim.target <- target;
+    !victim.lru <- t.clock
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,24 @@
+type t = {
+  mask : int;
+  history_mask : int;
+  counters : Bytes.t;
+  mutable history : int;
+}
+
+let create ?(entries = 16384) ?(history_bits = 12) () =
+  if entries land (entries - 1) <> 0 then invalid_arg "Gshare.create: not a power of two";
+  { mask = entries - 1;
+    history_mask = (1 lsl history_bits) - 1;
+    counters = Bytes.make entries '\001';
+    history = 0 }
+
+let index t pc = (pc lxor (t.history land t.history_mask)) land t.mask
+
+let predict t ~pc = Char.code (Bytes.get t.counters (index t pc)) >= 2
+
+let update t ~pc ~taken =
+  let i = index t pc in
+  let c = Char.code (Bytes.get t.counters i) in
+  let c = if taken then min 3 (c + 1) else max 0 (c - 1) in
+  Bytes.set t.counters i (Char.chr c);
+  t.history <- ((t.history lsl 1) lor if taken then 1 else 0) land t.history_mask

@@ -1,0 +1,15 @@
+(** Gshare branch predictor: 2-bit counters indexed by pc XOR global
+    history.  Provided as a mid-tier baseline between {!Bimodal} and
+    {!Tage}. *)
+
+type t
+
+val create : ?entries:int -> ?history_bits:int -> unit -> t
+(** [entries] must be a power of two (default 16384); [history_bits]
+    defaults to 12. *)
+
+val predict : t -> pc:int -> bool
+
+val update : t -> pc:int -> taken:bool -> unit
+(** Updates the counter selected by the current history, then shifts the
+    outcome into the history register. *)

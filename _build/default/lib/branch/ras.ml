@@ -1,0 +1,24 @@
+type t = {
+  slots : int array;
+  mutable top : int;  (* index of next free slot *)
+  mutable valid : int;
+}
+
+let create ?(depth = 32) () = { slots = Array.make depth 0; top = 0; valid = 0 }
+
+let capacity t = Array.length t.slots
+
+let push t addr =
+  t.slots.(t.top) <- addr;
+  t.top <- (t.top + 1) mod capacity t;
+  t.valid <- min (capacity t) (t.valid + 1)
+
+let pop t =
+  if t.valid = 0 then None
+  else begin
+    t.top <- (t.top - 1 + capacity t) mod capacity t;
+    t.valid <- t.valid - 1;
+    Some t.slots.(t.top)
+  end
+
+let depth t = t.valid

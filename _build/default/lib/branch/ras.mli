@@ -1,0 +1,17 @@
+(** Return address stack.  Calls push their fall-through pc; returns pop the
+    predicted target.  A fixed-depth circular stack, so deep recursion
+    overwrites older entries and causes return mispredictions, as in real
+    hardware. *)
+
+type t
+
+val create : ?depth:int -> unit -> t
+(** Default depth 32. *)
+
+val push : t -> int -> unit
+
+val pop : t -> int option
+(** [None] when the stack is empty (underflow). *)
+
+val depth : t -> int
+(** Current number of valid entries (saturates at capacity). *)

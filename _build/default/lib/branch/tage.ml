@@ -1,0 +1,197 @@
+type config = {
+  table_entries : int;
+  tag_bits : int;
+  counter_bits : int;
+  history_lengths : int array;
+  base_entries : int;
+}
+
+let default_config =
+  { table_entries = 1024;
+    tag_bits = 9;
+    counter_bits = 3;
+    history_lengths = [| 5; 11; 21; 39; 70; 130 |];
+    base_entries = 4096 }
+
+type table = {
+  hist_len : int;
+  tags : int array;
+  ctrs : int array;
+  useful : int array;
+}
+
+type t = {
+  config : config;
+  base : Bimodal.t;
+  tables : table array;
+  history : Bytes.t;  (* circular buffer of outcome bits, newest at [head] *)
+  mutable head : int;
+  rng : Prng.t;
+  mutable predictions : int;
+  mutable mispredictions : int;
+  mutable updates_since_reset : int;
+}
+
+let history_capacity = 256
+
+let create ?(config = default_config) ?(seed = 0x7a9e) () =
+  if config.table_entries land (config.table_entries - 1) <> 0 then
+    invalid_arg "Tage.create: table_entries not a power of two";
+  let table hist_len =
+    { hist_len;
+      tags = Array.make config.table_entries (-1);
+      ctrs = Array.make config.table_entries (1 lsl (config.counter_bits - 1));
+      useful = Array.make config.table_entries 0 }
+  in
+  { config;
+    base = Bimodal.create ~entries:config.base_entries ();
+    tables = Array.map table config.history_lengths;
+    history = Bytes.make history_capacity '\000';
+    head = 0;
+    rng = Prng.create seed;
+    predictions = 0;
+    mispredictions = 0;
+    updates_since_reset = 0 }
+
+let history_bit t i =
+  (* i = 0 is the most recent outcome *)
+  Char.code (Bytes.get t.history ((t.head - 1 - i + (2 * history_capacity)) mod history_capacity))
+
+(* Fold the last [len] history bits into [bits] bits by chunked XOR. *)
+let folded_history t ~len ~bits =
+  let acc = ref 0 in
+  let chunk = ref 0 in
+  let pos = ref 0 in
+  for i = 0 to len - 1 do
+    chunk := !chunk lor (history_bit t i lsl !pos);
+    incr pos;
+    if !pos = bits then begin
+      acc := !acc lxor !chunk;
+      chunk := 0;
+      pos := 0
+    end
+  done;
+  !acc lxor !chunk
+
+let idx_bits t =
+  (* log2 of table_entries *)
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  log2 t.config.table_entries 0
+
+let table_index t bank pc =
+  let bits = idx_bits t in
+  let tb = t.tables.(bank) in
+  let fold = folded_history t ~len:tb.hist_len ~bits in
+  (pc lxor (pc lsr bits) lxor fold lxor (bank * 0x1f1)) land (t.config.table_entries - 1)
+
+let table_tag t bank pc =
+  let bits = t.config.tag_bits in
+  let tb = t.tables.(bank) in
+  let fold = folded_history t ~len:tb.hist_len ~bits in
+  (pc lxor (pc lsr (bits + 1)) lxor fold) land ((1 lsl bits) - 1)
+
+let ctr_max t = (1 lsl t.config.counter_bits) - 1
+let ctr_mid t = 1 lsl (t.config.counter_bits - 1)
+
+(* Find provider and alternate components for this pc. *)
+let lookup t pc =
+  let n = Array.length t.tables in
+  let provider = ref (-1) in
+  let alt = ref (-1) in
+  let provider_idx = ref 0 in
+  let alt_idx = ref 0 in
+  for bank = 0 to n - 1 do
+    let idx = table_index t bank pc in
+    if t.tables.(bank).tags.(idx) = table_tag t bank pc then begin
+      alt := !provider;
+      alt_idx := !provider_idx;
+      provider := bank;
+      provider_idx := idx
+    end
+  done;
+  (!provider, !provider_idx, !alt, !alt_idx)
+
+let table_pred t bank idx = t.tables.(bank).ctrs.(idx) >= ctr_mid t
+
+let predict t ~pc =
+  let provider, pidx, _, _ = lookup t pc in
+  if provider >= 0 then table_pred t provider pidx else Bimodal.predict t.base ~pc
+
+let push_history t taken =
+  Bytes.set t.history t.head (if taken then '\001' else '\000');
+  t.head <- (t.head + 1) mod history_capacity
+
+let bump ctrs idx ~taken ~ceiling =
+  if taken then ctrs.(idx) <- min ceiling (ctrs.(idx) + 1)
+  else ctrs.(idx) <- max 0 (ctrs.(idx) - 1)
+
+let allocate t pc ~taken ~above =
+  (* Try to allocate an entry in a table with longer history than the
+     provider; prefer entries whose useful counter is zero. *)
+  let n = Array.length t.tables in
+  let candidates = ref [] in
+  for bank = above to n - 1 do
+    let idx = table_index t bank pc in
+    if t.tables.(bank).useful.(idx) = 0 then candidates := (bank, idx) :: !candidates
+  done;
+  match !candidates with
+  | [] ->
+    (* No free entry: age the competing entries instead. *)
+    for bank = above to n - 1 do
+      let idx = table_index t bank pc in
+      let u = t.tables.(bank).useful in
+      u.(idx) <- max 0 (u.(idx) - 1)
+    done
+  | cands ->
+    let cands = Array.of_list (List.rev cands) in
+    (* Bias allocation toward shorter histories, as in the original TAGE. *)
+    let pick =
+      if Array.length cands > 1 && Prng.int t.rng 4 < 3 then cands.(0)
+      else cands.(Prng.int t.rng (Array.length cands))
+    in
+    let bank, idx = pick in
+    let tb = t.tables.(bank) in
+    tb.tags.(idx) <- table_tag t bank pc;
+    tb.ctrs.(idx) <- (if taken then ctr_mid t else ctr_mid t - 1);
+    tb.useful.(idx) <- 0
+
+let reset_useful t =
+  Array.iter
+    (fun tb -> Array.iteri (fun i u -> tb.useful.(i) <- u lsr 1) tb.useful)
+    t.tables
+
+let predict_and_update t ~pc ~taken =
+  let provider, pidx, alt, aidx = lookup t pc in
+  let alt_pred = if alt >= 0 then table_pred t alt aidx else Bimodal.predict t.base ~pc in
+  let pred = if provider >= 0 then table_pred t provider pidx else alt_pred in
+  t.predictions <- t.predictions + 1;
+  if pred <> taken then t.mispredictions <- t.mispredictions + 1;
+  (* Train the provider (or the base when no table matched). *)
+  if provider >= 0 then begin
+    let tb = t.tables.(provider) in
+    bump tb.ctrs pidx ~taken ~ceiling:(ctr_max t);
+    if pred <> alt_pred then begin
+      if pred = taken then tb.useful.(pidx) <- min 3 (tb.useful.(pidx) + 1)
+      else tb.useful.(pidx) <- max 0 (tb.useful.(pidx) - 1);
+      (* When the provider was wrong but the alternate was right, also train
+         the alternate so it keeps its accuracy. *)
+      if pred <> taken then begin
+        if alt >= 0 then bump t.tables.(alt).ctrs aidx ~taken ~ceiling:(ctr_max t)
+        else Bimodal.update t.base ~pc ~taken
+      end
+    end
+  end
+  else Bimodal.update t.base ~pc ~taken;
+  (* Allocate a longer-history entry on a misprediction. *)
+  if pred <> taken && provider < Array.length t.tables - 1 then
+    allocate t pc ~taken ~above:(provider + 1);
+  push_history t taken;
+  t.updates_since_reset <- t.updates_since_reset + 1;
+  if t.updates_since_reset >= 1 lsl 18 then begin
+    t.updates_since_reset <- 0;
+    reset_useful t
+  end;
+  pred
+
+let mispredictions t = t.mispredictions
+let predictions t = t.predictions

@@ -1,0 +1,1 @@
+lib/core/fdo.ml: Classifier Cpu_core Deps Executor Memory_system Profiler Tagger Workload

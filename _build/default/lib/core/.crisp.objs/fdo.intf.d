@@ -1,0 +1,1 @@
+lib/core/fdo.mli: Classifier Cpu_core Executor Memory_system Profiler Tagger Workload

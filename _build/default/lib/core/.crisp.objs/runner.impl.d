@@ -1,0 +1,1 @@
+lib/core/runner.ml: Catalog Classifier Cpu_config Cpu_core Cpu_stats Digest Fdo Hashtbl Ibda Marshal Scheduler Tagger Workload

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Classifier Cpu_config Cpu_stats Fdo Ibda Tagger

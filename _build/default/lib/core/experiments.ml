@@ -1,0 +1,372 @@
+type sizes = {
+  eval_instrs : int;
+  train_instrs : int;
+}
+
+let default_sizes = { eval_instrs = 100_000; train_instrs = 80_000 }
+
+let apps = Catalog.spec_names @ Catalog.datacenter_names
+
+let ipc_of (outcome : Runner.outcome) = Cpu_stats.ipc outcome.Runner.stats
+
+let gain ~sizes ~cfg ~name variant =
+  let base =
+    Runner.evaluate ~cfg ~eval_instrs:sizes.eval_instrs
+      ~train_instrs:sizes.train_instrs ~name Runner.Ooo
+  in
+  let v =
+    Runner.evaluate ~cfg ~eval_instrs:sizes.eval_instrs
+      ~train_instrs:sizes.train_instrs ~name variant
+  in
+  (ipc_of v /. ipc_of base) -. 1.
+
+let crisp_artifacts ~sizes ~name =
+  let outcome =
+    Runner.evaluate ~eval_instrs:sizes.eval_instrs ~train_instrs:sizes.train_instrs
+      ~name Runner.crisp_default
+  in
+  match outcome.Runner.artifacts with
+  | Some artifacts -> artifacts
+  | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  print_endline "\n== Table 1: simulated system ==";
+  Format.printf "%a@." Cpu_config.pp Cpu_config.skylake
+
+let upc_series cfg ~criticality trace =
+  let cfg = { cfg with Cpu_config.record_upc = true } in
+  let stats = Cpu_core.run ~criticality cfg trace in
+  Cpu_stats.smoothed_upc stats ~window:25
+
+let fig1 ?(sizes = default_sizes) () =
+  let train =
+    Catalog.pointer_chase ~input:Workload.Train ~instrs:sizes.train_instrs ()
+  in
+  let artifacts = Fdo.analyze train in
+  let eval_workload =
+    Catalog.pointer_chase ~input:Workload.Ref ~instrs:(min sizes.eval_instrs 40_000) ()
+  in
+  let trace = Workload.trace eval_workload in
+  let ooo =
+    upc_series
+      (Cpu_config.with_policy Scheduler.Oldest_ready Cpu_config.skylake)
+      ~criticality:Cpu_core.No_tags trace
+  in
+  let crisp =
+    upc_series
+      (Cpu_config.with_policy Scheduler.Crisp Cpu_config.skylake)
+      ~criticality:(Fdo.criticality artifacts) trace
+  in
+  Report.print_series ~title:"Figure 1: UPC timeline, OOO baseline" ooo;
+  Report.print_series ~title:"Figure 1: UPC timeline, CRISP" crisp;
+  let avg series =
+    Report.mean (Array.to_list (Array.map snd series))
+  in
+  Printf.printf "average UPC: OOO %.3f  CRISP %.3f  (+%.1f%%)\n" (avg ooo) (avg crisp)
+    (100. *. ((avg crisp /. avg ooo) -. 1.));
+  (ooo, crisp)
+
+let motivating ?(sizes = default_sizes) () =
+  let run ~with_prefetch =
+    let w =
+      Catalog.pointer_chase ~input:Workload.Ref ~instrs:sizes.eval_instrs
+        ~with_prefetch ()
+    in
+    Cpu_stats.ipc
+      (Cpu_core.run
+         (Cpu_config.with_policy Scheduler.Oldest_ready Cpu_config.skylake)
+         (Workload.trace w))
+  in
+  let plain = run ~with_prefetch:false in
+  let prefetched = run ~with_prefetch:true in
+  Printf.printf
+    "\n== Section 3.1: manual prefetch on the pointer-chase kernel ==\n\
+     IPC without prefetch %.2f, with __builtin_prefetch %.2f (paper: 1.89 -> 2.71)\n"
+    plain prefetched;
+  (plain, prefetched)
+
+let fig3 () =
+  let w = Catalog.pointer_chase ~input:Workload.Train ~instrs:30_000 () in
+  let trace = Workload.trace w in
+  let report = Profiler.profile trace in
+  let classification = Classifier.classify report Classifier.default in
+  let root_pc =
+    match classification.Classifier.delinquent_loads with
+    | (pc, _) :: _ -> pc
+    | [] -> failwith "fig3: no delinquent load found"
+  in
+  let deps = Deps.compute trace in
+  let slice = Slicer.extract trace deps ~root_pc in
+  print_endline "\n== Figure 3: load-slice extraction on the microbenchmark ==";
+  Array.iteri
+    (fun pc decoded ->
+      let marker =
+        if pc = root_pc then "R>" else if slice.Slicer.pcs.(pc) then " *" else "  "
+      in
+      Format.printf "%s %4d: %a@." marker pc Program.pp_decoded decoded)
+    trace.Executor.prog.Program.code;
+  Printf.printf "slice: %d static instructions, %.1f dynamic average\n"
+    (Slicer.size slice) slice.Slicer.avg_dynamic_length;
+  slice.Slicer.pc_list
+
+let fig4 ?(sizes = default_sizes) () =
+  let rows =
+    List.map
+      (fun name ->
+        let artifacts = crisp_artifacts ~sizes ~name in
+        (name, Tagger.avg_load_slice_size artifacts.Fdo.tagging))
+      apps
+  in
+  Report.print_bars ~title:"Figure 4: average load slice size (dynamic micro-ops)" rows;
+  rows
+
+let fig7 ?(sizes = default_sizes) () =
+  let cfg = Cpu_config.skylake in
+  let variants =
+    [ Runner.crisp_default;
+      Runner.Ibda Ibda.ist_1k;
+      Runner.Ibda Ibda.ist_8k;
+      Runner.Ibda Ibda.ist_64k;
+      Runner.Ibda Ibda.ist_infinite ]
+  in
+  let rows =
+    List.map
+      (fun name -> (name, List.map (fun v -> gain ~sizes ~cfg ~name v) variants))
+      apps
+  in
+  let means =
+    List.init (List.length variants) (fun i ->
+        Report.mean (List.map (fun (_, vs) -> List.nth vs i) rows))
+  in
+  let rows = rows @ [ ("mean", means) ] in
+  Report.print_percent_table
+    ~title:"Figure 7: IPC improvement over OOO (CRISP vs IBDA)"
+    ~header:[ "CRISP"; "IBDA-1K"; "IBDA-8K"; "IBDA-64K"; "IBDA-inf" ]
+    rows;
+  rows
+
+let fig8 ?(sizes = default_sizes) () =
+  let cfg = Cpu_config.skylake in
+  let variants =
+    [ Runner.Crisp (Classifier.default, Tagger.load_slices_only);
+      Runner.Crisp (Classifier.default, Tagger.branch_slices_only);
+      Runner.crisp_default ]
+  in
+  let rows =
+    List.map
+      (fun name -> (name, List.map (fun v -> gain ~sizes ~cfg ~name v) variants))
+      apps
+  in
+  Report.print_percent_table
+    ~title:"Figure 8: load slices, branch slices, and their combination"
+    ~header:[ "load"; "branch"; "combined" ] rows;
+  rows
+
+let fig9 ?(sizes = default_sizes) () =
+  let windows = [ (64, 180); (96, 224); (144, 336); (192, 448) ] in
+  let rows =
+    List.map
+      (fun name ->
+        ( name,
+          List.map
+            (fun (rs, rob) ->
+              let cfg = Cpu_config.with_window ~rs ~rob Cpu_config.skylake in
+              gain ~sizes ~cfg ~name Runner.crisp_default)
+            windows ))
+      apps
+  in
+  Report.print_percent_table
+    ~title:"Figure 9: CRISP gain vs reservation-station / ROB size"
+    ~header:[ "64/180"; "96/224"; "144/336"; "192/448" ] rows;
+  rows
+
+let fig10 ?(sizes = default_sizes) () =
+  let cfg = Cpu_config.skylake in
+  let thresholds = [ 0.05; 0.01; 0.002 ] in
+  let rows =
+    List.map
+      (fun name ->
+        ( name,
+          List.map
+            (fun t ->
+              let classifier = Classifier.with_miss_contribution t Classifier.default in
+              gain ~sizes ~cfg ~name
+                (Runner.Crisp (classifier, Tagger.default_options)))
+            thresholds ))
+      apps
+  in
+  Report.print_percent_table
+    ~title:"Figure 10: sensitivity to the miss-contribution threshold T"
+    ~header:[ "T=5%"; "T=1%"; "T=0.2%" ] rows;
+  rows
+
+let fig11 ?(sizes = default_sizes) () =
+  let rows =
+    List.map
+      (fun name ->
+        let artifacts = crisp_artifacts ~sizes ~name in
+        (name, float_of_int artifacts.Fdo.tagging.Tagger.static_count))
+      apps
+  in
+  Report.print_bars ~title:"Figure 11: total static critical instructions" rows;
+  rows
+
+let fig12 ?(sizes = default_sizes) () =
+  let rows =
+    List.map
+      (fun name ->
+        let artifacts = crisp_artifacts ~sizes ~name in
+        let critical = Tagger.is_critical artifacts.Fdo.tagging in
+        let eval_workload =
+          Catalog.make ~input:Workload.Ref ~instrs:sizes.eval_instrs name
+        in
+        let trace = Workload.trace eval_workload in
+        let none _ = false in
+        let static_base = Layout.static_bytes trace.Executor.prog ~critical:none in
+        let static_tagged = Layout.static_bytes trace.Executor.prog ~critical in
+        let dyn_base = Layout.dynamic_bytes trace ~critical:none in
+        let dyn_tagged = Layout.dynamic_bytes trace ~critical in
+        let ooo =
+          Runner.evaluate ~eval_instrs:sizes.eval_instrs
+            ~train_instrs:sizes.train_instrs ~name Runner.Ooo
+        in
+        let crisp =
+          Runner.evaluate ~eval_instrs:sizes.eval_instrs
+            ~train_instrs:sizes.train_instrs ~name Runner.crisp_default
+        in
+        let mpki_base = Cpu_stats.mpki_l1i ooo.Runner.stats in
+        let mpki_tagged = Cpu_stats.mpki_l1i crisp.Runner.stats in
+        let mpki_delta =
+          if mpki_base < 0.01 then 0. else (mpki_tagged -. mpki_base) /. mpki_base
+        in
+        ( name,
+          [ (float_of_int static_tagged /. float_of_int static_base) -. 1.;
+            (float_of_int dyn_tagged /. float_of_int dyn_base) -. 1.;
+            mpki_delta ] ))
+      apps
+  in
+  Report.print_percent_table
+    ~title:"Figure 12: code-footprint overhead of the criticality prefix"
+    ~header:[ "static"; "dynamic"; "L1I MPKI" ] rows;
+  rows
+
+let ablations ?(sizes = default_sizes) () =
+  let subset = [ "namd"; "moses"; "pointer_chase"; "deepsjeng"; "mcf" ] in
+  let cfg = Cpu_config.skylake in
+  let no_filter = { Tagger.default_options with Tagger.critical_path_filter = false } in
+  let no_memory = { Tagger.default_options with Tagger.follow_memory = false } in
+  let no_guardrail = { Tagger.default_options with Tagger.ratio_max = 1.0 } in
+  let rows =
+    List.map
+      (fun name ->
+        let crisp options = Runner.Crisp (Classifier.default, options) in
+        (* The random-pick scheduler is compared against the oldest-ready
+           baseline with no tags on either side. *)
+        let random =
+          let base =
+            Runner.evaluate ~cfg ~eval_instrs:sizes.eval_instrs
+              ~train_instrs:sizes.train_instrs ~name Runner.Ooo
+          in
+          let rnd =
+            Runner.evaluate
+              ~cfg:(Cpu_config.with_policy Scheduler.Random_ready cfg)
+              ~eval_instrs:sizes.eval_instrs ~train_instrs:sizes.train_instrs ~name
+              Runner.Ooo
+          in
+          (ipc_of rnd /. ipc_of base) -. 1.
+        in
+        ( name,
+          [ gain ~sizes ~cfg ~name (crisp Tagger.default_options);
+            gain ~sizes ~cfg ~name (crisp no_filter);
+            gain ~sizes ~cfg ~name (crisp no_memory);
+            gain ~sizes ~cfg ~name (crisp no_guardrail);
+            random ] ))
+      subset
+  in
+  Report.print_percent_table
+    ~title:"Ablations: CRISP design choices (gain over OOO)"
+    ~header:[ "full"; "no-cpf"; "no-mem"; "no-cap"; "random" ]
+    rows;
+  rows
+
+(* Section 6.1: a kernel whose critical path is a serial division chain,
+   each division waking a burst of dependent scoring work.  With
+   [use_long_op_slices] the divisions are tagged and jump the burst. *)
+let division ?(sizes = default_sizes) () =
+  let build ~input ~instrs =
+    let mb = Mem_builder.create () in
+    let table = Mem_builder.int_array mb (Array.init 512 (fun i -> i + 1)) in
+    let buf, buf_init = Kernel_util.scratch_buffer mb in
+    let d = 1 and k = 2 and t = 3 and x = 4 and tb = 5 in
+    let open Program in
+    let code =
+      [ Label "loop";
+        Alu (Isa.And, t, d, Imm 511);
+        Alu (Isa.Shl, t, t, Imm 3);
+        Alu (Isa.Add, t, t, Reg tb);
+        Ld (x, t, 0);  (* cache-resident divisor pick *)
+        Div (d, d, k) ]  (* the critical long-latency chain *)
+      @ Kernel_util.payload ~tag:"div-scoring" ~dep:d ~buf ~loads:6 ~fp_ops:24
+          ~stores:10 ()
+      @ [ Alu (Isa.Add, d, d, Reg x);
+          Jmp "loop" ]
+    in
+    ignore input;
+    { Workload.name = "divchain";
+      description = "serial division chain with dependent scoring bursts";
+      program = assemble ~name:"divchain" code;
+      reg_init = [ (d, 987_654_321); (k, 1); (tb, table); buf_init ];
+      mem_init = Mem_builder.table mb;
+      max_instrs = instrs }
+  in
+  let train = build ~input:Workload.Train ~instrs:sizes.train_instrs in
+  let thresholds =
+    { Classifier.default with
+      Classifier.long_op_exec_share_min = 0.015;
+      miss_contribution_min = 1.1 (* ignore loads: isolate the extension *) }
+  in
+  let options =
+    { Tagger.default_options with
+      Tagger.use_long_op_slices = true;
+      use_load_slices = false;
+      use_branch_slices = false }
+  in
+  let artifacts = Fdo.analyze ~thresholds ~options train in
+  let trace =
+    Workload.trace (build ~input:Workload.Ref ~instrs:sizes.eval_instrs)
+  in
+  let ooo =
+    Cpu_core.run
+      (Cpu_config.with_policy Scheduler.Oldest_ready Cpu_config.skylake)
+      trace
+  in
+  let crisp =
+    Cpu_core.run
+      ~criticality:(Fdo.criticality artifacts)
+      (Cpu_config.with_policy Scheduler.Crisp Cpu_config.skylake)
+      trace
+  in
+  let o = Cpu_stats.ipc ooo and c = Cpu_stats.ipc crisp in
+  Printf.printf
+    "\n== Section 6.1 extension: division criticality ==\n\
+     division-chain kernel: OOO IPC %.3f, CRISP+long-op slices IPC %.3f (%+.1f%%)\n"
+    o c
+    (100. *. ((c /. o) -. 1.));
+  (o, c)
+
+let run_all ?(sizes = default_sizes) () =
+  table1 ();
+  ignore (motivating ~sizes ());
+  ignore (fig1 ~sizes ());
+  ignore (fig3 ());
+  ignore (fig4 ~sizes ());
+  ignore (fig7 ~sizes ());
+  ignore (fig8 ~sizes ());
+  ignore (fig9 ~sizes ());
+  ignore (fig10 ~sizes ());
+  ignore (fig11 ~sizes ());
+  ignore (fig12 ~sizes ());
+  ignore (ablations ~sizes ());
+  ignore (division ~sizes ())

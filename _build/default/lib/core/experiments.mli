@@ -1,0 +1,79 @@
+(** One function per table and figure of the paper's evaluation (Section 5),
+    plus the Section 3.1 motivating measurement and the ablations DESIGN.md
+    calls out.  Each function runs the required simulations (memoised
+    through {!Runner}), prints the figure as text, and returns the raw data
+    for tests and downstream tooling.
+
+    [eval_instrs]/[train_instrs] default to 100_000/80_000 so the full
+    suite regenerates in minutes; pass larger values for tighter
+    measurements. *)
+
+type sizes = {
+  eval_instrs : int;
+  train_instrs : int;
+}
+
+val default_sizes : sizes
+
+val apps : string list
+(** The 16 applications of Figures 4 and 7-12 (SPEC proxies, Xhpcg,
+    TailBench proxies); the pointer-chase microbenchmark appears only in
+    Figure 1 and the Section 3.1 experiment, as in the paper. *)
+
+val table1 : unit -> unit
+(** Print Table 1 (the simulated system). *)
+
+val fig1 : ?sizes:sizes -> unit -> (int * float) array * (int * float) array
+(** UPC timelines (windowed) of the pointer-chase microbenchmark under OOO
+    and CRISP — Figure 1.  Returns (ooo, crisp) series. *)
+
+val motivating : ?sizes:sizes -> unit -> float * float
+(** Section 3.1: IPC of the pointer-chase kernel without and with the
+    manual software prefetch (both on the baseline scheduler). *)
+
+val fig3 : unit -> int list
+(** Walk the load-slice extraction of Figure 3 on the microbenchmark's
+    delinquent load and print the annotated program; returns the slice
+    pcs. *)
+
+val fig4 : ?sizes:sizes -> unit -> (string * float) list
+(** Average dynamic load-slice size per application — Figure 4. *)
+
+val fig7 : ?sizes:sizes -> unit -> (string * float list) list
+(** IPC improvement over OOO for CRISP and IBDA with 1K/8K/64K/unbounded
+    ISTs — Figure 7.  Each row is [app, [crisp; ibda1k; ibda8k; ibda64k;
+    ibdaInf]] as speedup-minus-one fractions; a final "mean" row holds
+    arithmetic means. *)
+
+val fig8 : ?sizes:sizes -> unit -> (string * float list) list
+(** Load slices only / branch slices only / combined — Figure 8. *)
+
+val fig9 : ?sizes:sizes -> unit -> (string * float list) list
+(** CRISP gain at RS/ROB = 64/180, 96/224, 144/336 and 192/448 —
+    Figure 9. *)
+
+val fig10 : ?sizes:sizes -> unit -> (string * float list) list
+(** CRISP gain with miss-contribution thresholds T = 5%, 1%, 0.2% —
+    Figure 10. *)
+
+val fig11 : ?sizes:sizes -> unit -> (string * float) list
+(** Total static critical instructions per application — Figure 11. *)
+
+val fig12 : ?sizes:sizes -> unit -> (string * float list) list
+(** Static and dynamic code-footprint overhead of the criticality prefix,
+    and the L1I MPKI delta — Figure 12 (plus the Section 5.7 icache
+    observation).  Row values: [static_overhead; dynamic_overhead;
+    icache_mpki_delta], all fractions. *)
+
+val ablations : ?sizes:sizes -> unit -> (string * float list) list
+(** Design-choice ablations on a representative subset: full CRISP vs no
+    critical-path filter, no memory dependencies, no ratio guardrail, and a
+    random-ready scheduler. *)
+
+val division : ?sizes:sizes -> unit -> float * float
+(** The Section 6.1 extension: prioritise long-latency division and its
+    slices on a division-chained kernel.  Returns (OOO IPC, CRISP IPC). *)
+
+val run_all : ?sizes:sizes -> unit -> unit
+(** Regenerate every table and figure in order, plus the Section 6.1
+    division extension. *)

@@ -1,0 +1,18 @@
+type artifacts = {
+  train_trace : Executor.t;
+  report : Profiler.report;
+  classification : Classifier.result;
+  tagging : Tagger.t;
+}
+
+let analyze ?(thresholds = Classifier.default) ?(options = Tagger.default_options)
+    ?(mem_params = Memory_system.skylake) workload =
+  let train_trace = Workload.trace workload in
+  let report = Profiler.profile ~mem_params train_trace in
+  let classification = Classifier.classify report thresholds in
+  let deps = Deps.compute train_trace in
+  let tagging = Tagger.build ~options train_trace deps report classification in
+  { train_trace; report; classification; tagging }
+
+let criticality artifacts =
+  Cpu_core.Static_tags (Tagger.is_critical artifacts.tagging)

@@ -1,0 +1,22 @@
+(** The feedback-driven optimisation flow of Figure 5: execute the train
+    input, profile it, classify delinquent loads and hard branches, extract
+    and filter slices, and emit the criticality tag map that the
+    binary-rewriting step would encode as instruction prefixes. *)
+
+type artifacts = {
+  train_trace : Executor.t;
+  report : Profiler.report;
+  classification : Classifier.result;
+  tagging : Tagger.t;
+}
+
+val analyze :
+  ?thresholds:Classifier.thresholds ->
+  ?options:Tagger.options ->
+  ?mem_params:Memory_system.params ->
+  Workload.t ->
+  artifacts
+(** Run the full software pipeline on the given (train-input) workload. *)
+
+val criticality : artifacts -> Cpu_core.criticality
+(** The static tag map as scheduler input. *)

@@ -1,0 +1,71 @@
+let label_width rows =
+  List.fold_left (fun w (label, _) -> max w (String.length label)) 10 rows
+
+let print_header ~title ~header ~width =
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%-*s" width "";
+  List.iter (fun h -> Printf.printf " %12s" h) header;
+  print_newline ()
+
+let print_table ~title ~header rows =
+  let width = label_width rows in
+  print_header ~title ~header ~width;
+  List.iter
+    (fun (label, values) ->
+      Printf.printf "%-*s" width label;
+      List.iter (fun v -> Printf.printf " %12.2f" v) values;
+      print_newline ())
+    rows
+
+let print_percent_table ~title ~header rows =
+  let width = label_width rows in
+  print_header ~title ~header ~width;
+  List.iter
+    (fun (label, values) ->
+      Printf.printf "%-*s" width label;
+      List.iter (fun v -> Printf.printf " %+11.1f%%" (100. *. v)) values;
+      print_newline ())
+    rows
+
+let print_bars ~title rows =
+  Printf.printf "\n== %s ==\n" title;
+  let width = label_width rows in
+  let maximum = List.fold_left (fun m (_, v) -> Float.max m v) 0. rows in
+  List.iter
+    (fun (label, v) ->
+      let bar_len =
+        if maximum <= 0. then 0 else int_of_float (40. *. v /. maximum)
+      in
+      Printf.printf "%-*s %10.2f |%s\n" width label v (String.make (max 0 bar_len) '#'))
+    rows
+
+let print_series ~title series =
+  Printf.printf "\n== %s ==\n" title;
+  if Array.length series = 0 then print_endline "(empty series)"
+  else begin
+    let ys = Array.map snd series in
+    let lo = Array.fold_left Float.min ys.(0) ys in
+    let hi = Array.fold_left Float.max ys.(0) ys in
+    let glyphs = [| '_'; '.'; '-'; '='; '*'; '#' |] in
+    let glyph y =
+      if hi <= lo then glyphs.(0)
+      else
+        let level = int_of_float ((y -. lo) /. (hi -. lo) *. 5.99) in
+        glyphs.(max 0 (min 5 level))
+    in
+    Printf.printf "min %.2f  max %.2f  (%d points)\n" lo hi (Array.length series);
+    Array.iter (fun (_, y) -> print_char (glyph y)) series;
+    print_newline ()
+  end
+
+let geomean values =
+  match values with
+  | [] -> 1.0
+  | _ ->
+    let log_sum = List.fold_left (fun acc v -> acc +. log (Float.max v 1e-9)) 0. values in
+    exp (log_sum /. float_of_int (List.length values))
+
+let mean values =
+  match values with
+  | [] -> 0.
+  | _ -> List.fold_left ( +. ) 0. values /. float_of_int (List.length values)

@@ -1,0 +1,22 @@
+(** Plain-text rendering of experiment results: aligned tables, percentage
+    columns and ASCII bar charts, so `bench/main.exe` output reads like the
+    paper's figures. *)
+
+val print_table :
+  title:string -> header:string list -> (string * float list) list -> unit
+(** Aligned table with a label column and numeric columns (2 decimals). *)
+
+val print_percent_table :
+  title:string -> header:string list -> (string * float list) list -> unit
+(** Like {!print_table} but values are printed as percentages with sign. *)
+
+val print_bars : title:string -> (string * float) list -> unit
+(** Horizontal ASCII bar chart (values >= 0 scaled to the maximum). *)
+
+val print_series : title:string -> (int * float) array -> unit
+(** A (x, y) series as a compact sparkline plus min/max annotations. *)
+
+val geomean : float list -> float
+(** Geometric mean; returns 1.0 for the empty list. *)
+
+val mean : float list -> float

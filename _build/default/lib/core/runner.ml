@@ -1,0 +1,62 @@
+type variant =
+  | Ooo
+  | Crisp of Classifier.thresholds * Tagger.options
+  | Ibda of Ibda.config
+
+let crisp_default = Crisp (Classifier.default, Tagger.default_options)
+
+type outcome = {
+  stats : Cpu_stats.t;
+  artifacts : Fdo.artifacts option;
+}
+
+let cache : (string, outcome) Hashtbl.t = Hashtbl.create 64
+
+let clear_cache () = Hashtbl.reset cache
+
+let cache_key ~cfg ~eval_instrs ~train_instrs ~name variant =
+  (* Every component is plain data, so a structural digest is a sound key. *)
+  Digest.string (Marshal.to_string (cfg, eval_instrs, train_instrs, name, variant) [])
+
+let run_variant ~cfg ~eval_instrs ~train_instrs ~name variant =
+  let eval_workload = Catalog.make ~input:Workload.Ref ~instrs:eval_instrs name in
+  let eval_trace = Workload.trace eval_workload in
+  match variant with
+  | Ooo ->
+    let cfg = Cpu_config.with_policy Scheduler.Oldest_ready cfg in
+    { stats = Cpu_core.run cfg eval_trace; artifacts = None }
+  | Crisp (thresholds, options) ->
+    let train_workload = Catalog.make ~input:Workload.Train ~instrs:train_instrs name in
+    let artifacts =
+      Fdo.analyze ~thresholds ~options ~mem_params:cfg.Cpu_config.mem train_workload
+    in
+    let cfg = Cpu_config.with_policy Scheduler.Crisp cfg in
+    let stats =
+      Cpu_core.run ~criticality:(Fdo.criticality artifacts) cfg eval_trace
+    in
+    { stats; artifacts = Some artifacts }
+  | Ibda ibda_cfg ->
+    (* IBDA is hardware: it learns online while the evaluated input runs. *)
+    let result = Ibda.analyze ~mem_params:cfg.Cpu_config.mem ibda_cfg eval_trace in
+    let cfg = Cpu_config.with_policy Scheduler.Crisp cfg in
+    let stats =
+      Cpu_core.run ~criticality:(Cpu_core.Dynamic_tags (Ibda.is_critical result)) cfg
+        eval_trace
+    in
+    { stats; artifacts = None }
+
+let evaluate ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
+    ?(train_instrs = 150_000) ~name variant =
+  let key = cache_key ~cfg ~eval_instrs ~train_instrs ~name variant in
+  match Hashtbl.find_opt cache key with
+  | Some outcome -> outcome
+  | None ->
+    let outcome = run_variant ~cfg ~eval_instrs ~train_instrs ~name variant in
+    Hashtbl.add cache key outcome;
+    outcome
+
+let speedup_over_ooo ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
+    ?(train_instrs = 150_000) ~name variant =
+  let base = evaluate ~cfg ~eval_instrs ~train_instrs ~name Ooo in
+  let v = evaluate ~cfg ~eval_instrs ~train_instrs ~name variant in
+  Cpu_stats.ipc v.stats /. Cpu_stats.ipc base.stats

@@ -1,0 +1,37 @@
+(** Experiment runner: builds workloads, runs the FDO flow on the train
+    input, evaluates on the ref input, and memoises results so figures
+    sharing a baseline simulate it once. *)
+
+(** What runs on the core. *)
+type variant =
+  | Ooo  (** untagged baseline *)
+  | Crisp of Classifier.thresholds * Tagger.options
+      (** full software flow; scheduler uses the CRISP policy *)
+  | Ibda of Ibda.config
+      (** hardware-only baseline: online IBDA tags, CRISP scheduler *)
+
+val crisp_default : variant
+
+type outcome = {
+  stats : Cpu_stats.t;
+  artifacts : Fdo.artifacts option;  (** CRISP variants only *)
+}
+
+val evaluate :
+  ?cfg:Cpu_config.t ->
+  ?eval_instrs:int ->
+  ?train_instrs:int ->
+  name:string ->
+  variant ->
+  outcome
+(** [evaluate ~name variant] returns the evaluation-run statistics for the
+    named workload.  Results are cached on (name, sizes, config, variant).
+    The CRISP variants profile on the [Train] input and evaluate on [Ref]
+    (Section 5.1); IBDA learns online during the evaluation run itself. *)
+
+val speedup_over_ooo :
+  ?cfg:Cpu_config.t -> ?eval_instrs:int -> ?train_instrs:int -> name:string ->
+  variant -> float
+(** IPC of the variant over the OOO baseline IPC, as a ratio (1.0 = equal). *)
+
+val clear_cache : unit -> unit

@@ -1,0 +1,1 @@
+lib/cpu/age_matrix.ml: Array Bitset

@@ -1,0 +1,1 @@
+lib/cpu/age_matrix.mli: Bitset

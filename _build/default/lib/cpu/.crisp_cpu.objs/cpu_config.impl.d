@@ -1,0 +1,1 @@
+lib/cpu/cpu_config.ml: Cache Format Memory_system Printf Scheduler

@@ -1,0 +1,1 @@
+lib/cpu/cpu_config.mli: Format Memory_system Scheduler

@@ -1,0 +1,1 @@
+lib/cpu/cpu_core.ml: Array Btb Cpu_config Cpu_stats Executor Hashtbl Isa Layout List Memory_system Option Printf Queue Ras Scheduler Tage Vec

@@ -1,0 +1,1 @@
+lib/cpu/cpu_core.mli: Cpu_config Cpu_stats Executor Layout

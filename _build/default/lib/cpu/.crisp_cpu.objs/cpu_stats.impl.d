@@ -1,0 +1,1 @@
+lib/cpu/cpu_stats.ml: Array Format Memory_system

@@ -1,0 +1,1 @@
+lib/cpu/cpu_stats.mli: Format Memory_system

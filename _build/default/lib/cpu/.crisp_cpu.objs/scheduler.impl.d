@@ -1,0 +1,1 @@
+lib/cpu/scheduler.ml: Age_matrix Array Bitset Prng

@@ -1,0 +1,32 @@
+type t = {
+  n : int;
+  masks : Bitset.t array;  (* masks.(s): bits of slots strictly older than s *)
+  occ : Bitset.t;
+}
+
+let create n = { n; masks = Array.init n (fun _ -> Bitset.create n); occ = Bitset.create n }
+
+let slots t = t.n
+
+let occupied t s = Bitset.mem t.occ s
+
+let insert t s =
+  if occupied t s then invalid_arg "Age_matrix.insert: slot already occupied";
+  (* Everything currently occupied is older than the newcomer. *)
+  Bitset.copy_into ~src:t.occ ~dst:t.masks.(s);
+  Bitset.set t.occ s
+
+let remove t s =
+  if not (occupied t s) then invalid_arg "Age_matrix.remove: slot not occupied";
+  Bitset.clear t.occ s;
+  (* Clear the freed slot from every age mask so a future occupant of this
+     slot is seen as younger (the hardware clears the column in parallel). *)
+  Bitset.clear_bit_everywhere t.masks s
+
+let pick_oldest t candidates =
+  let winner = ref (-1) in
+  Bitset.iter_set
+    (fun s ->
+      if !winner = -1 && Bitset.inter_empty t.masks.(s) candidates then winner := s)
+    candidates;
+  !winner

@@ -1,0 +1,31 @@
+(** Age-matrix order tracking for a RAND instruction queue (paper Section
+    4.2, after Sassone et al. and the AMD Bulldozer / IBM POWER8 designs).
+
+    Instructions are inserted into arbitrary (random) queue slots; each
+    occupied slot keeps an age mask whose set bits identify strictly older
+    occupants.  Picking the oldest member of any candidate set (the BID
+    vector of ready instructions, or CRISP's PRIO vector of ready-and-
+    critical instructions) reduces to finding the candidate whose age mask
+    intersected with the candidate set is empty — the hardware's AND +
+    reduction-NOR per slot. *)
+
+type t
+
+val create : int -> t
+(** A matrix for a queue with the given number of slots. *)
+
+val slots : t -> int
+
+val insert : t -> int -> unit
+(** Occupy a currently-free slot as the youngest instruction. *)
+
+val remove : t -> int -> unit
+(** Free a slot (instruction issued); clears its bit from every remaining
+    age mask. *)
+
+val occupied : t -> int -> bool
+
+val pick_oldest : t -> Bitset.t -> int
+(** [pick_oldest t candidates] returns the slot of the oldest occupant among
+    the candidate set, or [-1] if the set is empty.  All candidates must be
+    occupied slots. *)

@@ -1,0 +1,104 @@
+let bits_per_word = 63
+
+type t = {
+  bits : int;
+  words : int array;
+}
+
+let create bits = { bits; words = Array.make ((bits + bits_per_word - 1) / bits_per_word) 0 }
+
+let width t = t.bits
+
+let check t i = if i < 0 || i >= t.bits then invalid_arg "Bitset: index out of range"
+
+let set t i =
+  check t i;
+  t.words.(i / bits_per_word) <-
+    t.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+
+let clear t i =
+  check t i;
+  t.words.(i / bits_per_word) <-
+    t.words.(i / bits_per_word) land lnot (1 lsl (i mod bits_per_word))
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let same_width a b = if a.bits <> b.bits then invalid_arg "Bitset: width mismatch"
+
+let copy_into ~src ~dst =
+  same_width src dst;
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+let inter_into ~a ~b ~dst =
+  same_width a b;
+  same_width a dst;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- a.words.(i) land b.words.(i)
+  done
+
+let diff_into ~a ~b ~dst =
+  same_width a b;
+  same_width a dst;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- a.words.(i) land lnot b.words.(i)
+  done
+
+let inter_empty a b =
+  same_width a b;
+  let rec go i =
+    i = Array.length a.words || (a.words.(i) land b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+(* Number of trailing zeros of a single-bit word, by binary search. *)
+let bit_index bit =
+  let i = ref 0 in
+  let b = ref bit in
+  if !b land 0x7FFFFFFF = 0 then begin
+    i := !i + 31;
+    b := !b lsr 31
+  end;
+  if !b land 0xFFFF = 0 then begin
+    i := !i + 16;
+    b := !b lsr 16
+  end;
+  if !b land 0xFF = 0 then begin
+    i := !i + 8;
+    b := !b lsr 8
+  end;
+  if !b land 0xF = 0 then begin
+    i := !i + 4;
+    b := !b lsr 4
+  end;
+  if !b land 0x3 = 0 then begin
+    i := !i + 2;
+    b := !b lsr 2
+  end;
+  if !b land 0x1 = 0 then i := !i + 1;
+  !i
+
+let iter_set f t =
+  for wi = 0 to Array.length t.words - 1 do
+    let w = ref t.words.(wi) in
+    while !w <> 0 do
+      let bit = !w land - !w in
+      f ((wi * bits_per_word) + bit_index bit);
+      w := !w land lnot bit
+    done
+  done
+
+let count t =
+  let n = ref 0 in
+  iter_set (fun _ -> incr n) t;
+  !n
+
+let clear_all t = Array.fill t.words 0 (Array.length t.words) 0
+
+let clear_bit_everywhere sets i =
+  let wi = i / bits_per_word in
+  let mask = lnot (1 lsl (i mod bits_per_word)) in
+  Array.iter (fun s -> s.words.(wi) <- s.words.(wi) land mask) sets

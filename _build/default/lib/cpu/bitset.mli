@@ -1,0 +1,35 @@
+(** Fixed-width bitsets over instruction-queue slots, the building block of
+    the age-matrix scheduler (paper Section 4.2: age masks, BID and PRIO
+    vectors are all N-bit vectors combined with single-logic-level bitwise
+    operations). *)
+
+type t
+
+val create : int -> t
+(** All-zero bitset of the given width. *)
+
+val width : t -> int
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+val is_empty : t -> bool
+val copy_into : src:t -> dst:t -> unit
+val inter_into : a:t -> b:t -> dst:t -> unit
+(** [dst := a AND b]; all three must share a width. *)
+
+val diff_into : a:t -> b:t -> dst:t -> unit
+(** [dst := a AND NOT b]. *)
+
+val inter_empty : t -> t -> bool
+(** Whether [a AND b] = 0 — the reduction-NOR of the hardware picker. *)
+
+val iter_set : (int -> unit) -> t -> unit
+(** Apply to every set bit, in increasing index order. *)
+
+val count : t -> int
+val clear_all : t -> unit
+
+val clear_bit_everywhere : t array -> int -> unit
+(** Clear bit [i] in every bitset of the array — the hardware's column-wise
+    clear when an instruction-queue slot is freed.  All sets must share a
+    width that covers [i]. *)

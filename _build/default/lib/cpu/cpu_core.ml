@@ -1,0 +1,557 @@
+type criticality =
+  | No_tags
+  | Static_tags of (int -> bool)
+  | Dynamic_tags of (int -> bool)
+
+(* Reorder-buffer entry states. *)
+let st_empty = 0
+let st_waiting = 1
+let st_ready = 2
+let st_issued = 3
+let st_done = 4
+
+type rob_entry = {
+  mutable dyn : int;  (* dynamic trace index, -1 when empty *)
+  mutable state : int;
+  mutable deps_left : int;
+  mutable dependents : int list;  (* rob indices woken at completion *)
+  mutable completion : int;
+  mutable critical : bool;
+  mutable rs_slot : int;
+  mutable forward : bool;  (* load forwarded from an in-flight store *)
+  mutable level : Memory_system.level option;  (* serving level, loads *)
+}
+
+let line_bytes = 64
+
+type state = {
+  cfg : Cpu_config.t;
+  dyns : Executor.dyn array;
+  layout : Layout.t;
+  critical_of : int -> bool;  (* by dynamic index *)
+  mem : Memory_system.t;
+  tage : Tage.t;
+  btb : Btb.t;
+  ras : Ras.t;
+  sched : Scheduler.t;
+  rob : rob_entry array;
+  mutable rob_head : int;
+  mutable rob_count : int;
+  rename : int array;  (* architectural reg -> rob index of producer, -1 *)
+  rs_owner : int array;  (* rs slot -> rob index *)
+  store_map : (int, int) Hashtbl.t;  (* address -> rob index of youngest in-flight store *)
+  mutable lq_count : int;
+  mutable sq_count : int;
+  calendar : (int, int list) Hashtbl.t;  (* cycle -> rob indices completing *)
+  mutable mshr_retry : int list;  (* rob indices to re-ready next cycle *)
+  fq : (int * int) Queue.t;  (* (dyn index, dispatch-ready cycle) *)
+  fq_cap : int;
+  mutable fetch_idx : int;
+  mutable fetch_blocked_until : int;
+  mutable waiting_dyn : int;  (* mispredicted branch dyn stalling fetch, -1 *)
+  mutable current_line : int;
+  mutable fdip_idx : int;
+  mutable cycle : int;
+  mutable retired : int;
+  (* statistics *)
+  mutable branches : int;
+  mutable branch_mispredicts : int;
+  mutable btb_misses : int;
+  mutable ras_mispredicts : int;
+  mutable stall_dram : int;
+  mutable stall_llc : int;
+  mutable stall_other_load : int;
+  mutable stall_long_op : int;
+  mutable stall_other : int;
+  mutable mlp_sum : float;
+  mutable mlp_cycles : int;
+  mutable critical_retired : int;
+  upc_timeline : int Vec.t option;
+}
+
+let fresh_entry () =
+  { dyn = -1; state = st_empty; deps_left = 0; dependents = []; completion = 0;
+    critical = false; rs_slot = -1; forward = false; level = None }
+
+let rob_full s = s.rob_count >= s.cfg.Cpu_config.rob_size
+
+let rob_tail s = (s.rob_head + s.rob_count) mod s.cfg.Cpu_config.rob_size
+
+let schedule_completion s rob_idx cycle =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt s.calendar cycle) in
+  Hashtbl.replace s.calendar cycle (rob_idx :: existing)
+
+(* ------------------------------------------------------------------ *)
+(* Completion: wake dependents, release branch-stalled fetch.          *)
+(* ------------------------------------------------------------------ *)
+
+let process_completions s =
+  match Hashtbl.find_opt s.calendar s.cycle with
+  | None -> ()
+  | Some completing ->
+    Hashtbl.remove s.calendar s.cycle;
+    List.iter
+      (fun rob_idx ->
+        let e = s.rob.(rob_idx) in
+        e.state <- st_done;
+        List.iter
+          (fun dep_idx ->
+            let dep = s.rob.(dep_idx) in
+            dep.deps_left <- dep.deps_left - 1;
+            if dep.deps_left = 0 && dep.state = st_waiting then begin
+              dep.state <- st_ready;
+              Scheduler.mark_ready s.sched dep.rs_slot
+            end)
+          e.dependents;
+        e.dependents <- [];
+        if e.dyn = s.waiting_dyn then begin
+          (* The mispredicted branch resolved: redirect the frontend. *)
+          s.waiting_dyn <- -1;
+          s.fetch_blocked_until <-
+            max s.fetch_blocked_until (s.cycle + s.cfg.Cpu_config.redirect_penalty)
+        end)
+      completing
+
+let process_mshr_retries s =
+  List.iter
+    (fun rob_idx ->
+      let e = s.rob.(rob_idx) in
+      if e.state = st_ready then Scheduler.mark_ready s.sched e.rs_slot)
+    s.mshr_retry;
+  s.mshr_retry <- []
+
+(* ------------------------------------------------------------------ *)
+(* Retirement (in order).                                              *)
+(* ------------------------------------------------------------------ *)
+
+let attribute_head_stall s (e : rob_entry) =
+  let d = s.dyns.(e.dyn) in
+  match d.Executor.op with
+  | Isa.Load -> begin
+    match e.level with
+    | Some Memory_system.Mem -> s.stall_dram <- s.stall_dram + 1
+    | Some Memory_system.Llc -> s.stall_llc <- s.stall_llc + 1
+    | Some Memory_system.L1 | None -> s.stall_other_load <- s.stall_other_load + 1
+  end
+  | Isa.Div | Isa.Fp_div -> s.stall_long_op <- s.stall_long_op + 1
+  | _ -> s.stall_other <- s.stall_other + 1
+
+let retire s =
+  let retired_now = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !retired_now < s.cfg.Cpu_config.retire_width && s.rob_count > 0 do
+    let e = s.rob.(s.rob_head) in
+    if e.state <> st_done then begin
+      if !retired_now = 0 then attribute_head_stall s e;
+      continue_ := false
+    end
+    else begin
+      let d = s.dyns.(e.dyn) in
+      (match d.Executor.op with
+      | Isa.Store ->
+        Memory_system.store_commit s.mem ~cycle:s.cycle ~addr:d.Executor.addr;
+        (match Hashtbl.find_opt s.store_map d.Executor.addr with
+        | Some owner when owner = s.rob_head -> Hashtbl.remove s.store_map d.Executor.addr
+        | Some _ | None -> ());
+        s.sq_count <- s.sq_count - 1
+      | Isa.Load -> s.lq_count <- s.lq_count - 1
+      | _ -> ());
+      if e.critical then s.critical_retired <- s.critical_retired + 1;
+      if d.Executor.dst >= 0 && s.rename.(d.Executor.dst) = s.rob_head then
+        s.rename.(d.Executor.dst) <- -1;
+      e.state <- st_empty;
+      e.dyn <- -1;
+      s.rob_head <- (s.rob_head + 1) mod s.cfg.Cpu_config.rob_size;
+      s.rob_count <- s.rob_count - 1;
+      s.retired <- s.retired + 1;
+      incr retired_now
+    end
+  done;
+  match s.upc_timeline with
+  | Some timeline -> Vec.push timeline !retired_now
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Issue and execute.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let execute s rob_idx =
+  let e = s.rob.(rob_idx) in
+  let d = s.dyns.(e.dyn) in
+  let mem_params = Memory_system.params s.mem in
+  match d.Executor.op with
+  | Isa.Load ->
+    if e.forward then begin
+      (* Store-to-load forwarding costs an L1-hit-like latency. *)
+      e.level <- Some Memory_system.L1;
+      `Issued (s.cycle + mem_params.Memory_system.l1d_latency)
+    end
+    else begin
+      match Memory_system.load s.mem ~cycle:s.cycle ~addr:d.Executor.addr with
+      | `Done (ready, level) ->
+        e.level <- Some level;
+        `Issued (max ready (s.cycle + 1))
+      | `Mshr_full -> `Retry
+    end
+  | Isa.Prefetch ->
+    (* Software prefetch: starts the fill, completes immediately. *)
+    (match Memory_system.load s.mem ~cycle:s.cycle ~addr:d.Executor.addr with
+    | `Done _ | `Mshr_full -> ());
+    `Issued (s.cycle + 1)
+  | op -> `Issued (s.cycle + Isa.exec_latency op)
+
+(* Select-then-arbitrate: up to issue-width selections per cycle in policy
+   order; a selected instruction issues only if a port of its class is
+   still free, otherwise the selection slot is wasted and the instruction
+   stays ready.  This is where selection order matters: under the baseline
+   policy a burst of older ready instructions starves younger critical
+   ones, which is precisely what CRISP's PRIO vector repairs. *)
+let issue s =
+  Scheduler.begin_cycle s.sched;
+  let alu = ref s.cfg.Cpu_config.alu_ports in
+  let ld = ref s.cfg.Cpu_config.load_ports in
+  let st = ref s.cfg.Cpu_config.store_ports in
+  let picks = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !picks < s.cfg.Cpu_config.fetch_width do
+    let slot = Scheduler.select s.sched in
+    if slot < 0 then continue_ := false
+    else begin
+      incr picks;
+      let rob_idx = s.rs_owner.(slot) in
+      let e = s.rob.(rob_idx) in
+      let d = s.dyns.(e.dyn) in
+      let port =
+        match Isa.fu_of_op d.Executor.op with
+        | Isa.Fu_alu -> alu
+        | Isa.Fu_load -> ld
+        | Isa.Fu_store -> st
+      in
+      if !port > 0 then begin
+        match execute s rob_idx with
+        | `Issued completion ->
+          decr port;
+          Scheduler.issue s.sched slot;
+          e.rs_slot <- -1;
+          e.state <- st_issued;
+          e.completion <- completion;
+          schedule_completion s rob_idx completion
+        | `Retry ->
+          (* MSHRs full: the port is consumed by the replay; drop readiness
+             and retry next cycle. *)
+          decr port;
+          Scheduler.unready s.sched slot;
+          s.mshr_retry <- rob_idx :: s.mshr_retry
+      end
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch: rename, allocate ROB/RS/LQ/SQ, build dependency edges.    *)
+(* ------------------------------------------------------------------ *)
+
+let add_dep s consumer_idx producer_idx =
+  let producer = s.rob.(producer_idx) in
+  if producer.state < st_done then begin
+    let consumer = s.rob.(consumer_idx) in
+    producer.dependents <- consumer_idx :: producer.dependents;
+    consumer.deps_left <- consumer.deps_left + 1
+  end
+
+let dispatch_one s dyn_idx =
+  let d = s.dyns.(dyn_idx) in
+  let op = d.Executor.op in
+  let is_load = op = Isa.Load in
+  let is_store = op = Isa.Store in
+  if rob_full s then `Stall
+  else if is_load && s.lq_count >= s.cfg.Cpu_config.lq_size then `Stall
+  else if is_store && s.sq_count >= s.cfg.Cpu_config.sq_size then `Stall
+  else begin
+    let critical = s.critical_of dyn_idx in
+    match Scheduler.allocate s.sched ~critical with
+    | None -> `Stall
+    | Some slot ->
+      let rob_idx = rob_tail s in
+      s.rob_count <- s.rob_count + 1;
+      let e = s.rob.(rob_idx) in
+      e.dyn <- dyn_idx;
+      e.state <- st_waiting;
+      e.deps_left <- 0;
+      e.dependents <- [];
+      e.critical <- critical;
+      e.rs_slot <- slot;
+      e.forward <- false;
+      e.level <- None;
+      s.rs_owner.(slot) <- rob_idx;
+      (* Register dependencies through the rename table. *)
+      if d.Executor.src1 >= 0 then begin
+        let p = s.rename.(d.Executor.src1) in
+        if p >= 0 then add_dep s rob_idx p
+      end;
+      if d.Executor.src2 >= 0 && d.Executor.src2 <> d.Executor.src1 then begin
+        let p = s.rename.(d.Executor.src2) in
+        if p >= 0 then add_dep s rob_idx p
+      end;
+      (* Memory dependency: a load after an in-flight store to the same
+         address waits for the store and then forwards. *)
+      if is_load then begin
+        s.lq_count <- s.lq_count + 1;
+        match Hashtbl.find_opt s.store_map d.Executor.addr with
+        | Some store_idx ->
+          e.forward <- true;
+          add_dep s rob_idx store_idx
+        | None -> ()
+      end;
+      if is_store then begin
+        s.sq_count <- s.sq_count + 1;
+        Hashtbl.replace s.store_map d.Executor.addr rob_idx
+      end;
+      if d.Executor.dst >= 0 then s.rename.(d.Executor.dst) <- rob_idx;
+      if e.deps_left = 0 then begin
+        e.state <- st_ready;
+        Scheduler.mark_ready s.sched slot
+      end;
+      `Dispatched
+  end
+
+let dispatch s =
+  let dispatched = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !dispatched < s.cfg.Cpu_config.fetch_width
+        && not (Queue.is_empty s.fq) do
+    let dyn_idx, ready_cycle = Queue.peek s.fq in
+    if ready_cycle > s.cycle then continue_ := false
+    else
+      match dispatch_one s dyn_idx with
+      | `Stall -> continue_ := false
+      | `Dispatched ->
+        ignore (Queue.pop s.fq);
+        incr dispatched
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fetch: follow the trace, model icache, predictors and redirects.    *)
+(* ------------------------------------------------------------------ *)
+
+(* Handle the control-flow consequences of fetching [d].  Returns [`Continue]
+   to keep fetching this cycle, [`End_group] after a taken transfer,
+   [`Blocked] when fetch must stop until a resolution or bubble ends. *)
+let fetch_control s dyn_idx (d : Executor.dyn) =
+  match d.Executor.op with
+  | Isa.Branch _ ->
+    s.branches <- s.branches + 1;
+    let predicted = Tage.predict_and_update s.tage ~pc:d.Executor.pc ~taken:d.Executor.taken in
+    if predicted <> d.Executor.taken then begin
+      s.branch_mispredicts <- s.branch_mispredicts + 1;
+      s.waiting_dyn <- dyn_idx;
+      `Blocked
+    end
+    else if d.Executor.taken then begin
+      (* Correctly predicted taken: the target must come from the BTB. *)
+      let target_ok =
+        match Btb.lookup s.btb ~pc:d.Executor.pc with
+        | Some target -> target = d.Executor.next_pc
+        | None -> false
+      in
+      Btb.update s.btb ~pc:d.Executor.pc ~target:d.Executor.next_pc;
+      if target_ok then `End_group
+      else begin
+        s.btb_misses <- s.btb_misses + 1;
+        s.fetch_blocked_until <- s.cycle + s.cfg.Cpu_config.btb_miss_penalty;
+        `Blocked
+      end
+    end
+    else `Continue
+  | Isa.Jump -> `End_group
+  | Isa.Call ->
+    Ras.push s.ras (d.Executor.pc + 1);
+    `End_group
+  | Isa.Ret -> begin
+    match Ras.pop s.ras with
+    | Some target when target = d.Executor.next_pc -> `End_group
+    | Some _ | None ->
+      s.ras_mispredicts <- s.ras_mispredicts + 1;
+      s.waiting_dyn <- dyn_idx;
+      `Blocked
+  end
+  | _ -> `Continue
+
+let fetch s =
+  let n = Array.length s.dyns in
+  if s.cycle >= s.fetch_blocked_until && s.waiting_dyn < 0 then begin
+    let fetched = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !fetched < s.cfg.Cpu_config.fetch_width && s.fetch_idx < n
+          && Queue.length s.fq < s.fq_cap do
+      let dyn_idx = s.fetch_idx in
+      let d = s.dyns.(dyn_idx) in
+      let addr = Layout.addr_of s.layout d.Executor.pc in
+      let line = addr / line_bytes in
+      if line <> s.current_line then begin
+        let ready, _level = Memory_system.fetch s.mem ~cycle:s.cycle ~addr in
+        let mem_params = Memory_system.params s.mem in
+        if ready > s.cycle + mem_params.Memory_system.l1i_latency then begin
+          (* Instruction cache miss: fetch resumes when the line arrives. *)
+          s.fetch_blocked_until <- ready;
+          continue_ := false
+        end
+        else s.current_line <- line
+      end;
+      if !continue_ then begin
+        Queue.push (dyn_idx, s.cycle + s.cfg.Cpu_config.frontend_depth) s.fq;
+        s.fetch_idx <- s.fetch_idx + 1;
+        incr fetched;
+        match fetch_control s dyn_idx d with
+        | `Continue -> ()
+        | `End_group | `Blocked -> continue_ := false
+      end
+    done
+  end
+
+(* FDIP: run ahead of fetch along the fetch target queue and prefetch
+   instruction lines.  Cannot run past an unresolved misprediction. *)
+let fdip s =
+  if s.cfg.Cpu_config.fdip then begin
+    let n = Array.length s.dyns in
+    let limit_dyn =
+      if s.waiting_dyn >= 0 then s.waiting_dyn + 1
+      else min n (s.fetch_idx + s.cfg.Cpu_config.ftq_entries)
+    in
+    if s.fdip_idx < s.fetch_idx then s.fdip_idx <- s.fetch_idx;
+    let budget = ref 2 in
+    let scanned = ref 0 in
+    while !budget > 0 && !scanned < 64 && s.fdip_idx < limit_dyn do
+      let d = s.dyns.(s.fdip_idx) in
+      let addr = Layout.addr_of s.layout d.Executor.pc in
+      if addr / line_bytes <> s.current_line
+         && not (Memory_system.probe_inst s.mem ~addr)
+      then begin
+        Memory_system.prefetch_inst s.mem ~cycle:s.cycle ~addr;
+        decr budget
+      end;
+      s.fdip_idx <- s.fdip_idx + 1;
+      incr scanned
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Top level.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(criticality = No_tags) ?layout cfg (trace : Executor.t) =
+  let dyns = trace.Executor.dyns in
+  let n = Array.length dyns in
+  let static_critical =
+    match criticality with
+    | Static_tags f -> f
+    | No_tags | Dynamic_tags _ -> fun _ -> false
+  in
+  let layout =
+    match layout with
+    | Some l -> l
+    | None -> Layout.compute ~critical:static_critical trace.Executor.prog
+  in
+  let critical_of =
+    match criticality with
+    | No_tags -> fun _ -> false
+    | Static_tags f -> fun dyn_idx -> f dyns.(dyn_idx).Executor.pc
+    | Dynamic_tags f -> f
+  in
+  let s =
+    { cfg;
+      dyns;
+      layout;
+      critical_of;
+      mem = Memory_system.create cfg.Cpu_config.mem;
+      tage = Tage.create ();
+      btb = Btb.create ~entries:cfg.Cpu_config.btb_entries ();
+      ras = Ras.create ~depth:cfg.Cpu_config.ras_depth ();
+      sched =
+        Scheduler.create ~seed:cfg.Cpu_config.seed ~slots:cfg.Cpu_config.rs_size
+          cfg.Cpu_config.policy;
+      rob = Array.init cfg.Cpu_config.rob_size (fun _ -> fresh_entry ());
+      rob_head = 0;
+      rob_count = 0;
+      rename = Array.make Isa.num_regs (-1);
+      rs_owner = Array.make cfg.Cpu_config.rs_size (-1);
+      store_map = Hashtbl.create 256;
+      lq_count = 0;
+      sq_count = 0;
+      calendar = Hashtbl.create 1024;
+      mshr_retry = [];
+      fq = Queue.create ();
+      fq_cap = max 32 (cfg.Cpu_config.fetch_width * (cfg.Cpu_config.frontend_depth + 3));
+      fetch_idx = 0;
+      fetch_blocked_until = 0;
+      waiting_dyn = -1;
+      current_line = -1;
+      fdip_idx = 0;
+      cycle = 0;
+      retired = 0;
+      branches = 0;
+      branch_mispredicts = 0;
+      btb_misses = 0;
+      ras_mispredicts = 0;
+      stall_dram = 0;
+      stall_llc = 0;
+      stall_other_load = 0;
+      stall_long_op = 0;
+      stall_other = 0;
+      mlp_sum = 0.;
+      mlp_cycles = 0;
+      critical_retired = 0;
+      upc_timeline =
+        (if cfg.Cpu_config.record_upc then Some (Vec.create ~dummy:0 ()) else None) }
+  in
+  let max_cycles =
+    match cfg.Cpu_config.max_cycles with
+    | Some m -> m
+    | None -> (400 * n) + 100_000
+  in
+  while s.retired < n do
+    if s.cycle > max_cycles then
+      failwith
+        (Printf.sprintf
+           "Cpu_core.run: no forward progress (cycle %d, retired %d/%d) — model bug"
+           s.cycle s.retired n);
+    process_completions s;
+    process_mshr_retries s;
+    retire s;
+    issue s;
+    dispatch s;
+    fetch s;
+    fdip s;
+    let outstanding = Memory_system.outstanding_misses s.mem ~cycle:s.cycle in
+    if outstanding > 0 then begin
+      s.mlp_sum <- s.mlp_sum +. float_of_int outstanding;
+      s.mlp_cycles <- s.mlp_cycles + 1
+    end;
+    s.cycle <- s.cycle + 1
+  done;
+  let loads = ref 0 and stores = ref 0 in
+  Array.iter
+    (fun (d : Executor.dyn) ->
+      match d.Executor.op with
+      | Isa.Load -> incr loads
+      | Isa.Store -> incr stores
+      | _ -> ())
+    dyns;
+  { Cpu_stats.cycles = s.cycle;
+    retired = s.retired;
+    loads = !loads;
+    stores = !stores;
+    branches = s.branches;
+    branch_mispredicts = s.branch_mispredicts;
+    btb_misses = s.btb_misses;
+    ras_mispredicts = s.ras_mispredicts;
+    head_stalls =
+      { Cpu_stats.dram_load = s.stall_dram;
+        llc_load = s.stall_llc;
+        other_load = s.stall_other_load;
+        long_op = s.stall_long_op;
+        other = s.stall_other };
+    mlp_sum = s.mlp_sum;
+    mlp_cycles = s.mlp_cycles;
+    critical_retired = s.critical_retired;
+    mem = Memory_system.stats s.mem;
+    upc_timeline = Option.map Vec.to_array s.upc_timeline }

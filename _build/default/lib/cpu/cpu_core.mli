@@ -1,0 +1,37 @@
+(** Cycle-level out-of-order core.
+
+    The model covers the mechanisms CRISP interacts with (paper Sections 2
+    and 4): a decoupled frontend with TAGE + BTB + RAS and FDIP running
+    ahead along the FTQ; register renaming into a circular ROB; a unified
+    reservation station with RAND slot allocation and an age-matrix picker;
+    per-class functional-unit ports; load/store queues with store-to-load
+    forwarding; the full cache/DRAM hierarchy with BOP + stream
+    prefetchers; and in-order retirement with ROB-head stall accounting.
+
+    It is trace-driven: the dynamic instruction stream is the correct path,
+    and a branch misprediction is modelled as the frontend producing
+    nothing from the fetch of the mispredicted branch until it executes
+    plus a redirect penalty.  Wrong-path execution is therefore not
+    simulated; this is the standard trace-driven simplification and it is
+    conservative for CRISP (wrong-path slices could also warm the cache). *)
+
+(** How micro-ops acquire the CRISP criticality tag. *)
+type criticality =
+  | No_tags  (** plain OOO baseline *)
+  | Static_tags of (int -> bool)
+      (** per static pc — CRISP's binary-rewriting prefix *)
+  | Dynamic_tags of (int -> bool)
+      (** per dynamic instruction index — hardware schemes like IBDA whose
+          tags depend on the state of on-chip tables at fetch time *)
+
+val run :
+  ?criticality:criticality -> ?layout:Layout.t -> Cpu_config.t -> Executor.t ->
+  Cpu_stats.t
+(** Simulate the whole trace and return aggregate statistics.  [layout]
+    defaults to the byte layout induced by the criticality tags (critical
+    instructions carry a one-byte prefix, which grows the fetch footprint —
+    Section 5.7).
+
+    @raise Failure if the pipeline fails to make progress within the
+    configured cycle budget (indicates a model bug, not a workload
+    property). *)

@@ -1,0 +1,64 @@
+type stall_breakdown = {
+  dram_load : int;
+  llc_load : int;
+  other_load : int;
+  long_op : int;
+  other : int;
+}
+
+type t = {
+  cycles : int;
+  retired : int;
+  loads : int;
+  stores : int;
+  branches : int;
+  branch_mispredicts : int;
+  btb_misses : int;
+  ras_mispredicts : int;
+  head_stalls : stall_breakdown;
+  mlp_sum : float;
+  mlp_cycles : int;
+  critical_retired : int;
+  mem : Memory_system.stats;
+  upc_timeline : int array option;
+}
+
+let ipc t = if t.cycles = 0 then 0. else float_of_int t.retired /. float_of_int t.cycles
+
+let upc = ipc
+
+let per_ki value t =
+  if t.retired = 0 then 0. else 1000. *. float_of_int value /. float_of_int t.retired
+
+let mpki_llc t = per_ki t.mem.Memory_system.llc_misses t
+
+let mpki_l1i t = per_ki t.mem.Memory_system.l1i_misses t
+
+let mispredicts_per_ki t = per_ki t.branch_mispredicts t
+
+let avg_mlp t = if t.mlp_cycles = 0 then 0. else t.mlp_sum /. float_of_int t.mlp_cycles
+
+let smoothed_upc t ~window =
+  match t.upc_timeline with
+  | None -> invalid_arg "Cpu_stats.smoothed_upc: timeline not recorded"
+  | Some timeline ->
+    if window <= 0 then invalid_arg "Cpu_stats.smoothed_upc: window must be positive";
+    let n = Array.length timeline in
+    let points = (n + window - 1) / window in
+    Array.init points (fun i ->
+        let lo = i * window in
+        let hi = min n (lo + window) in
+        let sum = ref 0 in
+        for c = lo to hi - 1 do
+          sum := !sum + timeline.(c)
+        done;
+        (lo, float_of_int !sum /. float_of_int (hi - lo)))
+
+let pp_summary fmt t =
+  Format.fprintf fmt "cycles %d  retired %d  IPC %.3f@." t.cycles t.retired (ipc t);
+  Format.fprintf fmt "LLC MPKI %.2f  L1I MPKI %.2f  br-mpki %.2f  avg MLP %.2f@."
+    (mpki_llc t) (mpki_l1i t) (mispredicts_per_ki t) (avg_mlp t);
+  Format.fprintf fmt
+    "head stalls: dram %d  llc %d  load %d  long-op %d  other %d@."
+    t.head_stalls.dram_load t.head_stalls.llc_load t.head_stalls.other_load
+    t.head_stalls.long_op t.head_stalls.other

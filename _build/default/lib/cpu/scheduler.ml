@@ -1,0 +1,97 @@
+type policy =
+  | Oldest_ready
+  | Crisp
+  | Random_ready
+
+type t = {
+  policy : policy;
+  matrix : Age_matrix.t;
+  ready : Bitset.t;  (* BID vector *)
+  critical : Bitset.t;  (* criticality tags of occupied slots *)
+  selected : Bitset.t;  (* slots already selected this cycle *)
+  scratch : Bitset.t;
+  scratch2 : Bitset.t;
+  free : int array;  (* free-slot stack, randomised for RAND allocation *)
+  mutable free_count : int;
+  rng : Prng.t;
+}
+
+let create ?(seed = 0x5c3d) ~slots policy =
+  { policy;
+    matrix = Age_matrix.create slots;
+    ready = Bitset.create slots;
+    critical = Bitset.create slots;
+    selected = Bitset.create slots;
+    scratch = Bitset.create slots;
+    scratch2 = Bitset.create slots;
+    free = Array.init slots (fun i -> i);
+    free_count = slots;
+    rng = Prng.create seed }
+
+let policy t = t.policy
+
+let free_slots t = t.free_count
+
+let occupancy t = Age_matrix.slots t.matrix - t.free_count
+
+let allocate t ~critical =
+  if t.free_count = 0 then None
+  else begin
+    (* RAND allocation: newly fetched instructions land in random slots. *)
+    let pick = Prng.int t.rng t.free_count in
+    let slot = t.free.(pick) in
+    t.free.(pick) <- t.free.(t.free_count - 1);
+    t.free_count <- t.free_count - 1;
+    Age_matrix.insert t.matrix slot;
+    if critical then Bitset.set t.critical slot;
+    Some slot
+  end
+
+let mark_ready t slot = Bitset.set t.ready slot
+
+let begin_cycle t = Bitset.clear_all t.selected
+
+(* ready AND NOT selected, computed into [scratch]. *)
+let candidates t =
+  Bitset.diff_into ~a:t.ready ~b:t.selected ~dst:t.scratch;
+  t.scratch
+
+let pick_random t cand =
+  let n = Bitset.count cand in
+  if n = 0 then -1
+  else begin
+    let target = Prng.int t.rng n in
+    let seen = ref 0 in
+    let winner = ref (-1) in
+    Bitset.iter_set
+      (fun s ->
+        if !seen = target && !winner = -1 then winner := s;
+        incr seen)
+      cand;
+    !winner
+  end
+
+let select t =
+  let cand = candidates t in
+  let slot =
+    match t.policy with
+    | Oldest_ready -> Age_matrix.pick_oldest t.matrix cand
+    | Random_ready -> pick_random t cand
+    | Crisp ->
+      (* PRIO = ready AND critical AND not selected; fall back to the plain
+         oldest-ready pick when no prioritised candidate remains. *)
+      Bitset.inter_into ~a:cand ~b:t.critical ~dst:t.scratch2;
+      let prio_pick = Age_matrix.pick_oldest t.matrix t.scratch2 in
+      if prio_pick >= 0 then prio_pick else Age_matrix.pick_oldest t.matrix cand
+  in
+  if slot >= 0 then Bitset.set t.selected slot;
+  slot
+
+let issue t slot =
+  Age_matrix.remove t.matrix slot;
+  Bitset.clear t.ready slot;
+  Bitset.clear t.critical slot;
+  t.free.(t.free_count) <- slot;
+  t.free_count <- t.free_count + 1
+
+let unready t slot = Bitset.clear t.ready slot

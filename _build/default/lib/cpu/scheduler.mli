@@ -1,0 +1,57 @@
+(** Reservation-station scheduler.
+
+    Models a unified RS with RAND slot allocation and an age-matrix picker,
+    operating select-then-arbitrate: each cycle the picker makes up to
+    [select_width] {e selections} from the ready (BID) vector; a selected
+    instruction issues if a port of its class is still free this cycle,
+    otherwise the selection slot is wasted — the classic inefficiency of
+    unified matrix schedulers that makes the selection {e order} matter.
+
+    Policies (paper Table 1 and Section 4.2):
+
+    - [Oldest_ready]: selections in pure age order — the baseline
+      6-oldest-ready-instructions-first scheduler;
+    - [Crisp]: the PRIO vector — ready-and-critical instructions are
+      selected (oldest first) before any non-critical ready instruction,
+      with a multiplexer falling back to the plain oldest pick (Figure 6);
+    - [Random_ready]: uniformly random selections (an ablation floor). *)
+
+type policy =
+  | Oldest_ready
+  | Crisp
+  | Random_ready
+
+type t
+
+val create : ?seed:int -> slots:int -> policy -> t
+
+val policy : t -> policy
+
+val free_slots : t -> int
+
+val allocate : t -> critical:bool -> int option
+(** Claim a random free slot for a newly dispatched instruction; [None]
+    when the RS is full.  The instruction starts not-ready. *)
+
+val mark_ready : t -> int -> unit
+(** Source operands became available: raise the slot's BID (and, when the
+    instruction is critical, PRIO) bit. *)
+
+val begin_cycle : t -> unit
+(** Reset the per-cycle selection mask. *)
+
+val select : t -> int
+(** Next selection of the current cycle, in policy order, among ready
+    instructions not yet selected this cycle; [-1] when none remain.  The
+    returned slot is marked selected.  The caller arbitrates ports and
+    calls {!issue} (instruction leaves the RS) or nothing (wasted slot;
+    the instruction stays ready for later cycles). *)
+
+val issue : t -> int -> unit
+(** Release the slot: the instruction left the RS for execution. *)
+
+val unready : t -> int -> unit
+(** Drop the slot back to not-ready (e.g. an MSHR-full load that must
+    retry); it keeps its age and RS slot. *)
+
+val occupancy : t -> int

@@ -1,0 +1,73 @@
+type params = {
+  banks : int;
+  row_bytes : int;
+  t_cas : int;
+  t_rcd : int;
+  t_rp : int;
+  t_burst : int;
+  seed : int;
+}
+
+let ddr4_2400 =
+  { banks = 16; row_bytes = 8192; t_cas = 42; t_rcd = 42; t_rp = 42; t_burst = 10;
+    seed = 0x9d2c }
+
+type bank = {
+  mutable open_row : int;  (* -1 = precharged *)
+  mutable busy_until : int;
+}
+
+type t = {
+  params : params;
+  bank_state : bank array;
+  mutable bus_busy_until : int;
+  mutable requests : int;
+  mutable row_hits : int;
+  mutable row_conflicts : int;
+}
+
+let create params =
+  { params;
+    bank_state = Array.init params.banks (fun _ -> { open_row = -1; busy_until = 0 });
+    bus_busy_until = 0;
+    requests = 0;
+    row_hits = 0;
+    row_conflicts = 0 }
+
+(* Spread consecutive rows over banks so streaming uses bank parallelism,
+   with a seed-dependent hash to avoid pathological aliasing. *)
+let map_addr t addr =
+  let row_index = addr / t.params.row_bytes in
+  let hashed = row_index lxor (row_index lsr 7) lxor t.params.seed in
+  let bank = hashed land (t.params.banks - 1) in
+  (bank, row_index)
+
+let request t ~cycle ~addr =
+  let bank_id, row = map_addr t addr in
+  let bank = t.bank_state.(bank_id) in
+  t.requests <- t.requests + 1;
+  let start = max cycle bank.busy_until in
+  let access_latency =
+    if bank.open_row = row then begin
+      t.row_hits <- t.row_hits + 1;
+      t.params.t_cas
+    end
+    else if bank.open_row = -1 then t.params.t_rcd + t.params.t_cas
+    else begin
+      t.row_conflicts <- t.row_conflicts + 1;
+      t.params.t_rp + t.params.t_rcd + t.params.t_cas
+    end
+  in
+  bank.open_row <- row;
+  let data_ready = start + access_latency in
+  let data_start = max data_ready t.bus_busy_until in
+  let completion = data_start + t.params.t_burst in
+  t.bus_busy_until <- data_start + t.params.t_burst;
+  bank.busy_until <- data_ready;
+  completion
+
+let requests t = t.requests
+let row_hits t = t.row_hits
+let row_conflicts t = t.row_conflicts
+
+let typical_miss_latency params = params.t_rcd + params.t_cas + params.t_burst

@@ -1,0 +1,39 @@
+(** DDR4-like main-memory model in the spirit of Ramulator (Table 1:
+    DDR4-2400, one channel).
+
+    The model tracks per-bank open rows and busy times plus a shared data
+    bus, so it reproduces the phenomena that matter for criticality
+    scheduling: row-buffer locality, bank-level parallelism (MLP) and
+    bandwidth saturation under bursts.  All times are in CPU cycles. *)
+
+type t
+
+type params = {
+  banks : int;  (** power of two *)
+  row_bytes : int;  (** row-buffer size, power of two *)
+  t_cas : int;  (** column access, CPU cycles *)
+  t_rcd : int;  (** activate-to-column *)
+  t_rp : int;  (** precharge *)
+  t_burst : int;  (** data-bus occupancy per transfer *)
+  seed : int;  (** bank-hash randomisation *)
+}
+
+val ddr4_2400 : params
+(** DDR4-2400 CL17 behind a 3 GHz core: 42-cycle CAS/RCD/RP, 10-cycle
+    burst, 16 banks, 8 KiB rows. *)
+
+val create : params -> t
+
+val request : t -> cycle:int -> addr:int -> int
+(** [request t ~cycle ~addr] enqueues a line fill and returns its completion
+    cycle.  Requests are served in arrival order per bank (FR-FCFS degrades
+    to FCFS under in-order issue per bank), with row-hit/row-miss/row-
+    conflict timing and data-bus serialisation. *)
+
+val requests : t -> int
+val row_hits : t -> int
+val row_conflicts : t -> int
+
+val typical_miss_latency : params -> int
+(** Unloaded activate+read+burst latency, used by the software stack as the
+    AMAT surrogate when weighting load-slice DAG edges (paper Section 3.5). *)

@@ -1,0 +1,218 @@
+type params = {
+  l1i : Cache.params;
+  l1d : Cache.params;
+  llc : Cache.params;
+  l1i_latency : int;
+  l1d_latency : int;
+  llc_latency : int;
+  dram : Dram.params;
+  mshrs : int;
+  enable_bop : bool;
+  enable_stream : bool;
+}
+
+let line_bytes = 64
+
+let skylake =
+  { l1i = { Cache.size_bytes = 32 * 1024; assoc = 8; line_bytes };
+    l1d = { Cache.size_bytes = 32 * 1024; assoc = 8; line_bytes };
+    llc = { Cache.size_bytes = 1024 * 1024; assoc = 20; line_bytes };
+    l1i_latency = 3;
+    l1d_latency = 4;
+    llc_latency = 36;
+    dram = Dram.ddr4_2400;
+    mshrs = 16;
+    enable_bop = true;
+    enable_stream = true }
+
+type level =
+  | L1
+  | Llc
+  | Mem
+
+type t = {
+  p : params;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  llc : Cache.t;
+  dram : Dram.t;
+  bop : Bop.t;
+  stream : Stream_prefetcher.t;
+  outstanding_d : (int, int * level) Hashtbl.t;  (* line -> ready cycle, level *)
+  outstanding_i : (int, int) Hashtbl.t;
+  mutable prefetches_issued : int;
+}
+
+let create p =
+  { p;
+    l1i = Cache.create ~name:"L1I" p.l1i;
+    l1d = Cache.create ~name:"L1D" p.l1d;
+    llc = Cache.create ~name:"LLC" p.llc;
+    dram = Dram.create p.dram;
+    bop = Bop.create ();
+    stream = Stream_prefetcher.create ();
+    outstanding_d = Hashtbl.create 64;
+    outstanding_i = Hashtbl.create 64;
+    prefetches_issued = 0 }
+
+let params t = t.p
+
+let line_of addr = addr / line_bytes
+
+(* Count in-flight demand fills, discarding completed entries as we go. *)
+let purge_and_count table ready_of cycle =
+  let stale = ref [] in
+  let live = ref 0 in
+  Hashtbl.iter
+    (fun line entry ->
+      if ready_of entry > cycle then incr live else stale := line :: !stale)
+    table;
+  List.iter (Hashtbl.remove table) !stale;
+  !live
+
+let outstanding_misses t ~cycle =
+  purge_and_count t.outstanding_d (fun (ready, _) -> ready) cycle
+
+(* Issue a prefetch fill for [line]: install in LLC (and L1D) and charge
+   DRAM bandwidth when the line was not on chip. *)
+let prefetch_line t ~cycle line =
+  let addr = line * line_bytes in
+  if not (Cache.probe t.l1d ~addr) then begin
+    t.prefetches_issued <- t.prefetches_issued + 1;
+    if not (Cache.probe t.llc ~addr) then begin
+      ignore (Dram.request t.dram ~cycle ~addr);
+      Cache.fill_prefetch t.llc ~addr
+    end;
+    Cache.fill_prefetch t.l1d ~addr;
+    Bop.record_fill t.bop ~line
+  end
+
+(* Train the data prefetchers on an L1D miss (or the first demand hit on a
+   prefetched line) and issue whatever they request. *)
+let train_data_prefetchers t ~cycle ~addr =
+  let line = line_of addr in
+  if t.p.enable_bop then begin
+    Bop.train t.bop ~line;
+    match Bop.query t.bop ~line with
+    | Some target -> prefetch_line t ~cycle target
+    | None -> ()
+  end;
+  if t.p.enable_stream then
+    List.iter (prefetch_line t ~cycle) (Stream_prefetcher.access t.stream ~line)
+
+let load t ~cycle ~addr =
+  let line = line_of addr in
+  match Hashtbl.find_opt t.outstanding_d line with
+  | Some (ready, level) when ready > cycle ->
+    (* Merge with the in-flight fill for this line. *)
+    `Done (ready, level)
+  | _ ->
+    if Cache.probe t.l1d ~addr then begin
+      (match Cache.access_info t.l1d ~addr with
+      | `Hit_prefetched -> train_data_prefetchers t ~cycle ~addr
+      | `Hit | `Miss -> ());
+      `Done (cycle + t.p.l1d_latency, L1)
+    end
+    else if purge_and_count t.outstanding_d (fun (ready, _) -> ready) cycle
+            >= t.p.mshrs
+    then `Mshr_full
+    else begin
+      ignore (Cache.access_info t.l1d ~addr);
+      train_data_prefetchers t ~cycle ~addr;
+      let ready, level =
+        match Cache.access_info t.llc ~addr with
+        | `Hit | `Hit_prefetched -> (cycle + t.p.llc_latency, Llc)
+        | `Miss ->
+          (Dram.request t.dram ~cycle:(cycle + t.p.llc_latency) ~addr, Mem)
+      in
+      Hashtbl.replace t.outstanding_d line (ready, level);
+      Bop.record_fill t.bop ~line;
+      `Done (ready, level)
+    end
+
+let store_commit t ~cycle:_ ~addr =
+  (* Write-allocate; the store buffer hides the fill latency. *)
+  if not (Cache.probe t.l1d ~addr) then ignore (Cache.access_info t.llc ~addr);
+  ignore (Cache.access_info t.l1d ~addr)
+
+let fetch t ~cycle ~addr =
+  let line = line_of addr in
+  match Hashtbl.find_opt t.outstanding_i line with
+  | Some ready when ready > cycle -> (ready, Mem)
+  | _ ->
+    if Cache.probe t.l1i ~addr then begin
+      ignore (Cache.access_info t.l1i ~addr);
+      (cycle + t.p.l1i_latency, L1)
+    end
+    else begin
+      ignore (Cache.access_info t.l1i ~addr);
+      let ready, level =
+        match Cache.access_info t.llc ~addr with
+        | `Hit | `Hit_prefetched -> (cycle + t.p.llc_latency, Llc)
+        | `Miss ->
+          (Dram.request t.dram ~cycle:(cycle + t.p.llc_latency) ~addr, Mem)
+      in
+      Hashtbl.replace t.outstanding_i line ready;
+      (ready, level)
+    end
+
+let probe_inst t ~addr = Cache.probe t.l1i ~addr
+
+let prefetch_inst t ~cycle ~addr =
+  if not (Cache.probe t.l1i ~addr) then begin
+    t.prefetches_issued <- t.prefetches_issued + 1;
+    if not (Cache.probe t.llc ~addr) then begin
+      ignore (Dram.request t.dram ~cycle ~addr);
+      Cache.fill_prefetch t.llc ~addr
+    end;
+    Cache.fill_prefetch t.l1i ~addr
+  end
+
+let load_functional t ~addr =
+  match Cache.access_info t.l1d ~addr with
+  | `Hit -> L1
+  | `Hit_prefetched ->
+    train_data_prefetchers t ~cycle:0 ~addr;
+    L1
+  | `Miss ->
+    train_data_prefetchers t ~cycle:0 ~addr;
+    (match Cache.access_info t.llc ~addr with
+    | `Hit | `Hit_prefetched -> Llc
+    | `Miss ->
+      Bop.record_fill t.bop ~line:(line_of addr);
+      Mem)
+
+let fetch_functional t ~addr =
+  match Cache.access_info t.l1i ~addr with
+  | `Hit | `Hit_prefetched -> L1
+  | `Miss -> (
+    match Cache.access_info t.llc ~addr with
+    | `Hit | `Hit_prefetched -> Llc
+    | `Miss -> Mem)
+
+type stats = {
+  l1d_hits : int;
+  l1d_misses : int;
+  llc_hits : int;
+  llc_misses : int;
+  l1i_hits : int;
+  l1i_misses : int;
+  dram_requests : int;
+  dram_row_hits : int;
+  prefetches_issued : int;
+  prefetch_hits_l1d : int;
+  prefetch_hits_llc : int;
+}
+
+let stats t =
+  { l1d_hits = Cache.hits t.l1d;
+    l1d_misses = Cache.misses t.l1d;
+    llc_hits = Cache.hits t.llc;
+    llc_misses = Cache.misses t.llc;
+    l1i_hits = Cache.hits t.l1i;
+    l1i_misses = Cache.misses t.l1i;
+    dram_requests = Dram.requests t.dram;
+    dram_row_hits = Dram.row_hits t.dram;
+    prefetches_issued = t.prefetches_issued;
+    prefetch_hits_l1d = Cache.prefetch_hits t.l1d;
+    prefetch_hits_llc = Cache.prefetch_hits t.llc }

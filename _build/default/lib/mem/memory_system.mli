@@ -1,0 +1,87 @@
+(** The full memory hierarchy of the simulated machine: split L1 caches, a
+    shared LLC slice, DDR4 main memory, and the BOP + stream data
+    prefetchers of Table 1.
+
+    Two usage modes share one state type:
+    - {e timing} ([load], [fetch], [store_commit]) returns completion
+      cycles, models MSHR capacity, miss merging and DRAM contention — used
+      by the cycle-level core;
+    - {e functional} ([load_functional], [fetch_functional]) updates cache
+      and prefetcher state without time — used by the software profiler,
+      which plays the role of the paper's PMU/PEBS measurements. *)
+
+type params = {
+  l1i : Cache.params;
+  l1d : Cache.params;
+  llc : Cache.params;
+  l1i_latency : int;
+  l1d_latency : int;
+  llc_latency : int;
+  dram : Dram.params;
+  mshrs : int;  (** max outstanding demand misses *)
+  enable_bop : bool;
+  enable_stream : bool;
+}
+
+val skylake : params
+(** Table 1: 32 KiB 8-way L1s (3/4-cycle), 1 MiB 20-way LLC slice
+    (36-cycle), DDR4-2400, 16 MSHRs, BOP + stream enabled. *)
+
+type t
+
+val create : params -> t
+
+val params : t -> params
+
+(** Which level served an access. *)
+type level =
+  | L1
+  | Llc
+  | Mem
+
+(** {1 Timing interface} *)
+
+val load : t -> cycle:int -> addr:int -> [ `Done of int * level | `Mshr_full ]
+(** Demand load issued at [cycle]; returns the data-ready cycle and serving
+    level.  Misses to the same line merge onto the outstanding fill.
+    [`Mshr_full] means the load must retry next cycle. *)
+
+val store_commit : t -> cycle:int -> addr:int -> unit
+(** Retirement-time store: write-allocate into L1D.  Store misses are
+    absorbed by the store buffer and do not stall the pipeline. *)
+
+val fetch : t -> cycle:int -> addr:int -> int * level
+(** Instruction fetch through the L1I and LLC. *)
+
+val prefetch_inst : t -> cycle:int -> addr:int -> unit
+(** FDIP: fill the L1I line containing [addr] ahead of fetch. *)
+
+val probe_inst : t -> addr:int -> bool
+(** Whether the L1I already holds the line containing [addr] (no state
+    change); used by FDIP to filter redundant prefetches. *)
+
+val outstanding_misses : t -> cycle:int -> int
+(** Demand misses currently in flight (an MLP observation point). *)
+
+(** {1 Functional interface} *)
+
+val load_functional : t -> addr:int -> level
+val fetch_functional : t -> addr:int -> level
+
+(** {1 Statistics} *)
+
+type stats = {
+  l1d_hits : int;
+  l1d_misses : int;
+  llc_hits : int;
+  llc_misses : int;
+  l1i_hits : int;
+  l1i_misses : int;
+  dram_requests : int;
+  dram_row_hits : int;
+  prefetches_issued : int;
+  prefetch_hits_l1d : int;  (** demand hits on prefetched L1D lines *)
+  prefetch_hits_llc : int;
+}
+
+val stats : t -> stats

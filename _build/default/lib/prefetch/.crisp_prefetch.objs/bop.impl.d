@@ -1,0 +1,1 @@
+lib/prefetch/bop.ml: Array List

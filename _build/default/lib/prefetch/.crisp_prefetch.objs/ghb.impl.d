@@ -1,0 +1,1 @@
+lib/prefetch/ghb.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/prefetch/stream_prefetcher.mli:

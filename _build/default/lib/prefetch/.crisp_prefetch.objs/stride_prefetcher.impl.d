@@ -1,0 +1,1 @@
+lib/prefetch/stride_prefetcher.ml: Array List

@@ -1,0 +1,94 @@
+type entry = {
+  mutable pc : int;
+  mutable addr : int;
+  mutable prev : int;  (* GHB index of the previous entry for this pc, -1 *)
+  mutable prev_stamp : int;  (* stamp the linked slot had, to detect reuse *)
+}
+
+type t = {
+  ghb : entry array;
+  stamps : int array;  (* stamp at which each slot was (re)written *)
+  index : (int, int * int) Hashtbl.t;  (* pc hash -> (ghb slot, stamp) *)
+  index_entries : int;
+  degree : int;
+  mutable head : int;
+  mutable clock : int;
+  mutable issued : int;
+}
+
+let create ?(ghb_entries = 256) ?(index_entries = 256) ?(degree = 2) () =
+  { ghb =
+      Array.init ghb_entries (fun _ -> { pc = -1; addr = 0; prev = -1; prev_stamp = -1 });
+    stamps = Array.make ghb_entries (-1);
+    index = Hashtbl.create index_entries;
+    index_entries;
+    degree;
+    head = 0;
+    clock = 0;
+    issued = 0 }
+
+(* Addresses of this pc's chain, most recent first, following links only
+   while the linked slots have not been overwritten. *)
+let chain_addresses t slot stamp limit =
+  let rec go slot stamp acc n =
+    if n = 0 || slot < 0 || t.stamps.(slot) <> stamp then List.rev acc
+    else
+      let e = t.ghb.(slot) in
+      go e.prev e.prev_stamp (e.addr :: acc) (n - 1)
+  in
+  Array.of_list (go slot stamp [] limit)
+
+let access t ~pc ~addr =
+  let slot = t.head in
+  t.head <- (t.head + 1) mod Array.length t.ghb;
+  t.clock <- t.clock + 1;
+  let prev_slot, prev_stamp =
+    match Hashtbl.find_opt t.index (pc mod t.index_entries) with
+    | Some (s, stamp) when t.stamps.(s) = stamp && t.ghb.(s).pc = pc -> (s, stamp)
+    | Some _ | None -> (-1, -1)
+  in
+  let e = t.ghb.(slot) in
+  e.pc <- pc;
+  e.addr <- addr;
+  e.prev <- prev_slot;
+  e.prev_stamp <- prev_stamp;
+  t.stamps.(slot) <- t.clock;
+  Hashtbl.replace t.index (pc mod t.index_entries) (slot, t.clock);
+  (* Delta correlation: deltas.(i) = a_i - a_{i+1}, newest first. *)
+  let addrs = chain_addresses t slot t.clock 16 in
+  let n = Array.length addrs in
+  if n < 4 then []
+  else begin
+    let deltas = Array.init (n - 1) (fun i -> addrs.(i) - addrs.(i + 1)) in
+    let d1 = deltas.(0) and d2 = deltas.(1) in
+    if d1 = 0 then []
+    else begin
+      (* find an earlier occurrence of the (d2 then d1) sequence *)
+      let match_pos = ref (-1) in
+      (let i = ref 2 in
+       while !match_pos < 0 && !i < Array.length deltas - 1 do
+         if deltas.(!i) = d1 && deltas.(!i + 1) = d2 then match_pos := !i;
+         incr i
+       done);
+      if !match_pos < 0 then []
+      else begin
+        (* what followed the earlier occurrence, chronologically:
+           deltas at positions match_pos-1, match_pos-2, ... *)
+        let base = ref addr in
+        let prefetches = ref [] in
+        let k = ref (!match_pos - 1) in
+        let taken = ref 0 in
+        while !taken < t.degree && !k >= 0 do
+          base := !base + deltas.(!k);
+          prefetches := !base :: !prefetches;
+          decr k;
+          incr taken
+        done;
+        let prefetches = List.rev !prefetches in
+        t.issued <- t.issued + List.length prefetches;
+        prefetches
+      end
+    end
+  end
+
+let issued t = t.issued

@@ -1,0 +1,20 @@
+(** Global History Buffer prefetcher in PC/DC (delta correlation) mode
+    (Nesbit & Smith, HPCA 2004) — the third data prefetcher the paper's
+    evaluation experimented with alongside stride and BOP (Section 5.1).
+
+    A circular global history buffer stores the most recent miss addresses;
+    an index table links all entries of the same pc into a chain.  On each
+    training access the last few deltas of the pc's chain are correlated
+    against its earlier history: when the two most recent deltas reappear,
+    the deltas that followed them historically are predicted to follow
+    again. *)
+
+type t
+
+val create : ?ghb_entries:int -> ?index_entries:int -> ?degree:int -> unit -> t
+(** Defaults: 256-entry GHB, 256-entry index table, degree 2. *)
+
+val access : t -> pc:int -> addr:int -> int list
+(** Train on a (miss) access and return the addresses to prefetch. *)
+
+val issued : t -> int

@@ -1,0 +1,61 @@
+type stream = {
+  mutable last_line : int;
+  mutable direction : int;  (* +1 / -1 / 0 unknown *)
+  mutable confidence : int;
+  mutable lru : int;
+}
+
+type t = {
+  streams : stream array;
+  degree : int;
+  min_confidence : int;
+  mutable clock : int;
+  mutable issued : int;
+}
+
+let create ?(streams = 16) ?(degree = 4) ?(min_confidence = 2) () =
+  { streams =
+      Array.init streams (fun _ ->
+          { last_line = min_int; direction = 0; confidence = 0; lru = 0 });
+    degree;
+    min_confidence;
+    clock = 0;
+    issued = 0 }
+
+let access t ~line =
+  t.clock <- t.clock + 1;
+  let matching = ref None in
+  Array.iter
+    (fun s ->
+      if !matching = None then begin
+        let delta = line - s.last_line in
+        if delta <> 0 && abs delta <= 2 then matching := Some (s, delta)
+      end)
+    t.streams;
+  match !matching with
+  | Some (s, delta) ->
+    let dir = if delta > 0 then 1 else -1 in
+    if s.direction = dir then s.confidence <- s.confidence + 1
+    else begin
+      s.direction <- dir;
+      s.confidence <- 1
+    end;
+    s.last_line <- line;
+    s.lru <- t.clock;
+    if s.confidence >= t.min_confidence then begin
+      let lines = List.init t.degree (fun k -> line + (dir * (k + 1))) in
+      t.issued <- t.issued + List.length lines;
+      lines
+    end
+    else []
+  | None ->
+    (* Allocate the LRU tracker for a potential new stream. *)
+    let victim = ref t.streams.(0) in
+    Array.iter (fun s -> if s.lru < !victim.lru then victim := s) t.streams;
+    !victim.last_line <- line;
+    !victim.direction <- 0;
+    !victim.confidence <- 0;
+    !victim.lru <- t.clock;
+    []
+
+let issued t = t.issued

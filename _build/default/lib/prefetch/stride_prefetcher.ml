@@ -1,0 +1,55 @@
+type entry = {
+  mutable tag : int;  (* -1 invalid *)
+  mutable last_addr : int;
+  mutable stride : int;
+  mutable confidence : int;
+}
+
+type t = {
+  entries : entry array;
+  mask : int;
+  degree : int;
+  min_confidence : int;
+  mutable issued : int;
+}
+
+let create ?(entries = 256) ?(degree = 2) ?(min_confidence = 2) () =
+  if entries land (entries - 1) <> 0 then
+    invalid_arg "Stride_prefetcher.create: not a power of two";
+  { entries =
+      Array.init entries (fun _ ->
+          { tag = -1; last_addr = 0; stride = 0; confidence = 0 });
+    mask = entries - 1;
+    degree;
+    min_confidence;
+    issued = 0 }
+
+let access t ~pc ~addr =
+  let e = t.entries.(pc land t.mask) in
+  if e.tag <> pc then begin
+    e.tag <- pc;
+    e.last_addr <- addr;
+    e.stride <- 0;
+    e.confidence <- 0;
+    []
+  end
+  else begin
+    let stride = addr - e.last_addr in
+    e.last_addr <- addr;
+    if stride = 0 then []
+    else begin
+      if stride = e.stride then e.confidence <- min 3 (e.confidence + 1)
+      else begin
+        e.stride <- stride;
+        e.confidence <- 1
+      end;
+      if e.confidence >= t.min_confidence then begin
+        let addrs = List.init t.degree (fun k -> addr + (stride * (k + 1))) in
+        t.issued <- t.issued + List.length addrs;
+        addrs
+      end
+      else []
+    end
+  end
+
+let issued t = t.issued

@@ -1,0 +1,12 @@
+(** Per-PC stride prefetcher (reference baseline; the paper reports results
+    with BOP and notes stride/GHB behaved similarly). *)
+
+type t
+
+val create : ?entries:int -> ?degree:int -> ?min_confidence:int -> unit -> t
+(** [entries] must be a power of two (default 256). *)
+
+val access : t -> pc:int -> addr:int -> int list
+(** Observe a demand access; returns byte addresses to prefetch. *)
+
+val issued : t -> int

@@ -1,0 +1,1 @@
+lib/trace/deps.ml: Array Executor Hashtbl Isa List

@@ -1,0 +1,1 @@
+lib/trace/deps.mli: Executor

@@ -1,0 +1,1 @@
+lib/trace/executor.ml: Array Hashtbl Isa List Program Vec

@@ -1,0 +1,1 @@
+lib/trace/executor.mli: Hashtbl Isa Program

@@ -1,0 +1,1 @@
+lib/trace/layout.ml: Array Executor Isa Program

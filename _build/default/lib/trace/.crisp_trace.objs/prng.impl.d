@@ -1,0 +1,1 @@
+lib/trace/prng.ml: Array Int64

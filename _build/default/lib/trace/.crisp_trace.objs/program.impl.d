@@ -1,0 +1,1 @@
+lib/trace/program.ml: Array Format Hashtbl Isa List

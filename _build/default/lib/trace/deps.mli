@@ -1,0 +1,19 @@
+(** Data-dependency pre-computation over a dynamic trace.
+
+    For every dynamic micro-op we record the dynamic index of the producer
+    of each register source and, for loads, of the last store to the same
+    address (the dependency-through-memory edge that register-only IBDA
+    hardware cannot observe — paper Sections 1 and 3.5). *)
+
+type t = {
+  prod1 : int array;  (** producer of src1, or [-1] *)
+  prod2 : int array;  (** producer of src2, or [-1] *)
+  prod_mem : int array;  (** for loads: last older store to the same address, or [-1] *)
+}
+
+val compute : Executor.t -> t
+(** Single forward pass over the trace; O(length). *)
+
+val producers : t -> int -> int list
+(** All producer indices of dynamic instruction [i] (deduplicated,
+    [-1] entries dropped). *)

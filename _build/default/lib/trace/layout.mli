@@ -1,0 +1,31 @@
+(** Byte-level code layout of an assembled program.
+
+    CRISP's binary-rewriting step prepends a one-byte prefix to every
+    critical instruction, which shifts all following instructions and grows
+    both the static image and the dynamic fetch footprint (paper Section
+    5.7, Figure 12).  This module computes instruction start addresses given
+    a criticality predicate, so the instruction cache model sees the real
+    line occupancy of the rewritten binary. *)
+
+type t = {
+  base : int;  (** address of the first instruction *)
+  starts : int array;  (** byte address of each pc *)
+  sizes : int array;  (** encoded size of each pc, including any prefix *)
+  total_bytes : int;
+}
+
+val compute : ?base:int -> critical:(int -> bool) -> Program.t -> t
+(** [compute ~critical prog] lays the program out contiguously from [base]
+    (default [0x400000]); instruction [pc] occupies
+    [Isa.byte_size op + (if critical pc then Isa.prefix_bytes else 0)]
+    bytes. *)
+
+val addr_of : t -> int -> int
+(** Start address of a pc. *)
+
+val static_bytes : Program.t -> critical:(int -> bool) -> int
+(** Total static code size under the given tagging. *)
+
+val dynamic_bytes : Executor.t -> critical:(int -> bool) -> int
+(** Dynamic code footprint: encoded bytes fetched over the whole trace,
+    weighting each instruction by its execution frequency. *)

@@ -1,0 +1,1 @@
+lib/workloads/kernel_util.ml: Isa List Mem_builder Program

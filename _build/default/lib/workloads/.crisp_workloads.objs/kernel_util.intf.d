@@ -1,0 +1,1 @@
+lib/workloads/kernel_util.mli: Isa Mem_builder Program

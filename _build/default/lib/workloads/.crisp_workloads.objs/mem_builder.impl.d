@@ -1,0 +1,1 @@
+lib/workloads/mem_builder.ml: Array Hashtbl Prng

@@ -1,0 +1,1 @@
+lib/workloads/wl_bwaves.ml: Array Isa List Mem_builder Prng Program Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_cactus.ml: Isa Kernel_util Mem_builder Prng Program Workload

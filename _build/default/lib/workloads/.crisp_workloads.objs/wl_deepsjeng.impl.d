@@ -1,0 +1,1 @@
+lib/workloads/wl_deepsjeng.ml: Array Isa Kernel_util Mem_builder Prng Program Workload

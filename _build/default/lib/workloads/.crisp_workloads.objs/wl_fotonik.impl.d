@@ -1,0 +1,1 @@
+lib/workloads/wl_fotonik.ml: Isa Mem_builder Program Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_gcc.ml: Array Fun Isa Kernel_util List Mem_builder Printf Prng Program Workload

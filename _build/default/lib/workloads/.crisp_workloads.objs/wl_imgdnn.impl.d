@@ -1,0 +1,1 @@
+lib/workloads/wl_imgdnn.ml: Array Isa Mem_builder Prng Program Workload

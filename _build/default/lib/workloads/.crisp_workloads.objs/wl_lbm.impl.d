@@ -1,0 +1,1 @@
+lib/workloads/wl_lbm.ml: Isa Kernel_util Mem_builder Prng Program Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_mcf.ml: Isa Kernel_util Mem_builder Prng Program Workload

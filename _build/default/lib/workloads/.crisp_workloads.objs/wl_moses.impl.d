@@ -1,0 +1,1 @@
+lib/workloads/wl_moses.ml: Array Isa Kernel_util List Mem_builder Printf Prng Program Workload

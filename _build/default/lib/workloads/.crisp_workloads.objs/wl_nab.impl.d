@@ -1,0 +1,1 @@
+lib/workloads/wl_nab.ml: Array Isa Kernel_util Mem_builder Prng Program Workload

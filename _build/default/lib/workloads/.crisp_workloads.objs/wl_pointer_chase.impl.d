@@ -1,0 +1,1 @@
+lib/workloads/wl_pointer_chase.ml: Array Isa Mem_builder Prng Program Workload

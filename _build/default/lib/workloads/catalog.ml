@@ -1,0 +1,32 @@
+let spec_names =
+  [ "bwaves"; "cactus"; "deepsjeng"; "fotonik"; "gcc"; "lbm"; "mcf"; "nab"; "namd";
+    "omnetpp"; "perlbench"; "xz" ]
+
+let datacenter_names = [ "xhpcg"; "moses"; "memcached"; "imgdnn" ]
+
+let names = spec_names @ datacenter_names @ [ "pointer_chase" ]
+
+let make ?(input = Workload.Ref) ?(instrs = 240_000) name =
+  match name with
+  | "bwaves" -> Wl_bwaves.make ~input ~instrs ()
+  | "cactus" -> Wl_cactus.make ~input ~instrs ()
+  | "deepsjeng" -> Wl_deepsjeng.make ~input ~instrs ()
+  | "fotonik" -> Wl_fotonik.make ~input ~instrs ()
+  | "gcc" -> Wl_gcc.make ~input ~instrs ()
+  | "lbm" -> Wl_lbm.make ~input ~instrs ()
+  | "mcf" -> Wl_mcf.make ~input ~instrs ()
+  | "nab" -> Wl_nab.make ~input ~instrs ()
+  | "namd" -> Wl_namd.make ~input ~instrs ()
+  | "omnetpp" -> Wl_omnetpp.make ~input ~instrs ()
+  | "perlbench" -> Wl_perlbench.make ~input ~instrs ()
+  | "xz" -> Wl_xz.make ~input ~instrs ()
+  | "xhpcg" -> Wl_xhpcg.make ~input ~instrs ()
+  | "moses" -> Wl_moses.make ~input ~instrs ()
+  | "memcached" -> Wl_memcached.make ~input ~instrs ()
+  | "imgdnn" -> Wl_imgdnn.make ~input ~instrs ()
+  | "pointer_chase" -> Wl_pointer_chase.make ~input ~instrs ()
+  | _ -> raise Not_found
+
+let pointer_chase ?(input = Workload.Ref) ?(instrs = 240_000) ?(vec_size = 24)
+    ?(with_prefetch = false) () =
+  Wl_pointer_chase.make ~input ~instrs ~vec_size ~with_prefetch ()

@@ -1,0 +1,27 @@
+(** The workload suite of the paper's evaluation (Section 5.1):
+    memory-intensive SPEC2017 proxies, Xhpcg, the TailBench datacenter
+    applications (moses, memcached, img-dnn), and the pointer-chasing
+    microbenchmark of Figures 1-3. *)
+
+val names : string list
+(** All workload names, in the order figures are reported. *)
+
+val make : ?input:Workload.input -> ?instrs:int -> string -> Workload.t
+(** Build a workload by name.
+    @raise Not_found for an unknown name. *)
+
+val spec_names : string list
+(** The SPEC-proxy subset. *)
+
+val datacenter_names : string list
+(** The TailBench-proxy subset. *)
+
+val pointer_chase :
+  ?input:Workload.input ->
+  ?instrs:int ->
+  ?vec_size:int ->
+  ?with_prefetch:bool ->
+  unit ->
+  Workload.t
+(** The microbenchmark, exposed directly for the Figure 1 / Section 3.1
+    experiments that need its prefetch variant. *)

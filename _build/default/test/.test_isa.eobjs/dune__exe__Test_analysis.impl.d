@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Catalog Classifier Critical_path Deps Executor Experiments Hashtbl Ibda Isa List Prng Profiler Program QCheck QCheck_alcotest Slicer Tagger Workload

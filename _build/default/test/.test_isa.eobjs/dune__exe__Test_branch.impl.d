@@ -1,0 +1,1 @@
+test/test_branch.ml: Alcotest Bimodal Btb Gshare List Prng QCheck QCheck_alcotest Ras Tage

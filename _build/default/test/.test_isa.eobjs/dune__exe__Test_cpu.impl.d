@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Cpu_config Cpu_core Cpu_stats Executor Hashtbl Isa List Memory_system Option Prng Program Scheduler

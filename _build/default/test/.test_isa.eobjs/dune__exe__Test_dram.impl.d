@@ -1,0 +1,1 @@
+test/test_dram.ml: Alcotest Dram List Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Catalog Classifier Experiments Fdo Ibda List Runner Tagger Unix Workload

@@ -1,0 +1,1 @@
+test/test_mem_system.ml: Alcotest List Memory_system

@@ -1,0 +1,1 @@
+test/test_prefetch.ml: Alcotest Bop Ghb List Prng Stream_prefetcher Stride_prefetcher

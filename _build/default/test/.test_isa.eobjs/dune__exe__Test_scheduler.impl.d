@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Age_matrix Alcotest Array Bitset Fun Hashtbl List Prng QCheck QCheck_alcotest Scheduler

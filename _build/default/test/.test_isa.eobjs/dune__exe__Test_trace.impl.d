@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Deps Executor Isa Layout List Prng Program QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Catalog Deps Executor Isa List Profiler Program Workload

@@ -1,0 +1,368 @@
+(* Tests for the CRISP software stack: profiler, classifier, slicer,
+   critical-path filter, tagger and the IBDA hardware baseline. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* A pointer chase with a register spill in the address chain and a hard
+   branch, exercising every analysis feature:
+     loop:  ld r1, 0(r1)       ; pc 0: delinquent chain load
+            st r1, 0(r2)       ; pc 1: spill the pointer to the stack
+            fmul r4, r5, r5    ; pc 2: clobber (payload)
+            ld r3, 0(r2)       ; pc 3: reload through memory
+            ld r6, 64(r3)      ; pc 4: value load (delinquent)
+            beq r6-parity ...  ; pc 6: hard branch on loaded data
+*)
+let spill_chase_workload ?(nodes = 30_000) () =
+  let rng = Prng.create 21 in
+  let mem = Hashtbl.create 1024 in
+  let order = Array.init nodes (fun i -> i) in
+  Prng.shuffle rng order;
+  (* nodes are two lines apart, with the value on the second line, so the
+     chain load and the value load miss independently *)
+  for i = 0 to nodes - 1 do
+    let addr = 0x400000 + (order.(i) * 128) in
+    Hashtbl.replace mem addr (0x400000 + (order.((i + 1) mod nodes) * 128));
+    Hashtbl.replace mem (addr + 64) (Prng.int rng 100)
+  done;
+  let open Program in
+  let insts =
+    [ Label "loop";
+      Ld (1, 1, 0);
+      St (1, 2, 0);
+      Fmul (4, 5, 5);
+      Ld (3, 2, 0);
+      Ld (6, 3, 64);
+      Alu (Isa.And, 7, 6, Imm 1);
+      Br (Isa.Eq, 7, Imm 0, "skip");
+      Fadd (5, 5, 6);
+      Label "skip";
+      Jmp "loop" ]
+  in
+  let prog = assemble ~name:"spill_chase" insts in
+  Executor.run ~reg_init:[ (1, 0x400000); (2, 1024); (5, 3) ] ~mem_init:mem
+    ~max_instrs:40_000 prog
+
+(* ---------------- Profiler ---------------- *)
+
+let test_profiler_counts () =
+  let trace = spill_chase_workload () in
+  let r = Profiler.profile trace in
+  check int "instruction count" (Array.length trace.Executor.dyns) r.Profiler.total_instrs;
+  check bool "loads counted" true (r.Profiler.total_loads > 0);
+  check bool "branches counted" true (r.Profiler.total_branches > 0);
+  (* pc 4 touches each node's line first, so it takes the misses; the
+     chain load (pc 0) then hits the warmed line *)
+  let value_load = Hashtbl.find r.Profiler.loads 4 in
+  check bool "value load misses nearly always" true (Profiler.miss_ratio value_load > 0.8);
+  check bool "value load is irregular" true (Profiler.stride_ratio value_load < 0.2);
+  let reload = Hashtbl.find r.Profiler.loads 3 in
+  check bool "stack reload always hits" true (Profiler.miss_ratio reload < 0.05)
+
+let test_profiler_mlp_serial_vs_parallel () =
+  (* serial chase: same-depth misses never coexist -> MLP ~ 1 *)
+  let serial = Profiler.profile (spill_chase_workload ()) in
+  let value_load = Hashtbl.find serial.Profiler.loads 4 in
+  check bool "serial chain has MLP ~ 1" true (Profiler.avg_mlp value_load < 1.5);
+  (* independent gathers: high MLP *)
+  let rng = Prng.create 31 in
+  let mem = Hashtbl.create 64 in
+  for i = 0 to (1 lsl 15) - 1 do
+    Hashtbl.replace mem (0x500000 + (i * 8)) (Prng.int rng 100)
+  done;
+  let open Program in
+  let gather k =
+    [ Mul (1 + k, 1 + k, 9);
+      Alu (Isa.Add, 1 + k, 1 + k, Imm (k + 77));
+      Alu (Isa.And, 10, 1 + k, Imm 0x7FFF);
+      Alu (Isa.Shl, 10, 10, Imm 3);
+      Alu (Isa.Add, 10, 10, Imm 0x500000);
+      Ld (11, 10, 0);
+      Fadd (12, 12, 11) ]
+  in
+  let prog =
+    assemble ~name:"mlp"
+      ([ Label "loop" ] @ List.concat_map gather [ 0; 1; 2; 3 ] @ [ Jmp "loop" ])
+  in
+  let trace =
+    Executor.run
+      ~reg_init:((9, 29) :: List.init 4 (fun k -> (1 + k, 7 * (k + 1))))
+      ~mem_init:mem ~max_instrs:40_000 prog
+  in
+  let parallel = Profiler.profile trace in
+  let some_gather = Hashtbl.find parallel.Profiler.loads 5 in
+  check bool "independent gathers show MLP > 2" true (Profiler.avg_mlp some_gather > 2.)
+
+let test_branch_profiling () =
+  let trace = spill_chase_workload () in
+  let r = Profiler.profile trace in
+  let b = Hashtbl.find r.Profiler.branch_table 6 in
+  check bool "data-dependent branch mispredicts > 30%" true
+    (Profiler.mispredict_ratio b > 0.3)
+
+(* ---------------- Classifier ---------------- *)
+
+let test_classifier_finds_delinquents () =
+  let trace = spill_chase_workload () in
+  let r = Profiler.profile trace in
+  let c = Classifier.classify r Classifier.default in
+  let pcs = List.map fst c.Classifier.delinquent_loads in
+  check bool "missing value load flagged" true (List.mem 4 pcs);
+  check bool "stack reload not flagged" false (List.mem 3 pcs);
+  let branch_pcs = List.map fst c.Classifier.hard_branches in
+  check bool "hard branch flagged" true (List.mem 6 branch_pcs)
+
+let test_classifier_thresholds () =
+  let trace = spill_chase_workload () in
+  let r = Profiler.profile trace in
+  let strict =
+    Classifier.classify r (Classifier.with_miss_contribution 0.99 Classifier.default)
+  in
+  check int "an impossible threshold flags nothing" 0
+    (List.length strict.Classifier.delinquent_loads);
+  let no_branches =
+    Classifier.classify r { Classifier.default with Classifier.branch_mispredict_min = 1.1 }
+  in
+  check int "branch threshold respected" 0
+    (List.length no_branches.Classifier.hard_branches)
+
+let test_classifier_mlp_filter () =
+  (* bwaves-like high-MLP gathers must be rejected by the MLP criterion *)
+  let w = Catalog.make ~input:Workload.Train ~instrs:60_000 "bwaves" in
+  let trace = Workload.trace w in
+  let r = Profiler.profile trace in
+  let c = Classifier.classify r Classifier.default in
+  check int "high-MLP loads not delinquent" 0 (List.length c.Classifier.delinquent_loads)
+
+let test_classifier_stride_filter () =
+  let w = Catalog.make ~input:Workload.Train ~instrs:60_000 "fotonik" in
+  let trace = Workload.trace w in
+  let r = Profiler.profile trace in
+  let c = Classifier.classify r Classifier.default in
+  check int "prefetchable streams not delinquent" 0
+    (List.length c.Classifier.delinquent_loads)
+
+(* ---------------- Slicer ---------------- *)
+
+let test_slicer_follows_memory () =
+  let trace = spill_chase_workload () in
+  let deps = Deps.compute trace in
+  (* slice of the value load (pc 4): its base register comes from the
+     reload (pc 3), which depends through MEMORY on the spill (pc 1),
+     which depends on the chain load (pc 0) *)
+  let with_mem = Slicer.extract trace deps ~root_pc:4 in
+  check bool "reload in slice" true with_mem.Slicer.pcs.(3);
+  check bool "spill store reached through memory" true with_mem.Slicer.pcs.(1);
+  check bool "chain load reached" true with_mem.Slicer.pcs.(0);
+  check bool "payload excluded" false with_mem.Slicer.pcs.(2);
+  let without_mem = Slicer.extract ~follow_memory:false trace deps ~root_pc:4 in
+  check bool "without memory deps the spill is invisible" false
+    without_mem.Slicer.pcs.(1);
+  check bool "and the chain load is lost" false without_mem.Slicer.pcs.(0)
+
+let test_slicer_recursion_terminates () =
+  let trace = spill_chase_workload () in
+  let deps = Deps.compute trace in
+  let slice = Slicer.extract trace deps ~root_pc:0 in
+  (* the chain load depends only on itself across iterations *)
+  check bool "self-recursive slice is just the root" true
+    (slice.Slicer.pc_list = [ 0 ]);
+  check bool "dynamic length matches" true (slice.Slicer.avg_dynamic_length <= 2.)
+
+let test_slicer_branch_slice () =
+  let trace = spill_chase_workload () in
+  let deps = Deps.compute trace in
+  let slice = Slicer.extract trace deps ~root_pc:6 in
+  check bool "branch slice contains its condition chain" true
+    (slice.Slicer.pcs.(5) && slice.Slicer.pcs.(4))
+
+(* ---------------- Critical path ---------------- *)
+
+let test_critical_path_filters_cheap_side_chains () =
+  (* root load fed by an expensive load chain and a cheap constant chain:
+     only the expensive side survives a high theta *)
+  let mem = Hashtbl.create 16 in
+  Hashtbl.replace mem 0x600000 0x610000;
+  let open Program in
+  let insts =
+    [ Ld (1, 9, 0);  (* pc 0: slow producer (DRAM) *)
+      Li (2, 4);  (* pc 1: cheap producer *)
+      Alu (Isa.Add, 2, 2, Imm 1);  (* pc 2: cheap chain *)
+      Alu (Isa.Add, 3, 1, Reg 2);  (* pc 3: join *)
+      Ld (4, 3, 0);  (* pc 4: root *)
+      Halt ]
+  in
+  let prog = assemble ~name:"cp" insts in
+  let trace = Executor.run ~reg_init:[ (9, 0x600000) ] ~mem_init:mem ~max_instrs:100 prog in
+  let deps = Deps.compute trace in
+  let latency_of i =
+    match trace.Executor.dyns.(i).Executor.op with
+    | Isa.Load -> 150
+    | op -> Isa.exec_latency op
+  in
+  let keep = Critical_path.filter ~theta:0.8 trace deps ~root_pc:4 ~latency_of in
+  check bool "expensive producer kept" true keep.(0);
+  check bool "join kept" true keep.(3);
+  check bool "cheap chain dropped" false keep.(1);
+  check bool "root always kept" true keep.(4);
+  let lp = Critical_path.longest_path trace deps ~root_idx:4 ~latency_of in
+  check int "longest path = load + join + root" (150 + 1 + 150) lp
+
+(* ---------------- Tagger ---------------- *)
+
+let test_tagger_end_to_end () =
+  let trace = spill_chase_workload () in
+  let deps = Deps.compute trace in
+  let report = Profiler.profile trace in
+  let classification = Classifier.classify report Classifier.default in
+  let tagging = Tagger.build trace deps report classification in
+  check bool "something tagged" true (tagging.Tagger.static_count > 0);
+  check bool "ratio within the guardrail" true (tagging.Tagger.dynamic_ratio <= 0.40001);
+  check bool "payload not tagged" false (Tagger.is_critical tagging 2)
+
+let test_tagger_ratio_guardrail () =
+  let trace = spill_chase_workload () in
+  let deps = Deps.compute trace in
+  let report = Profiler.profile trace in
+  let classification = Classifier.classify report Classifier.default in
+  let tight =
+    Tagger.build ~options:{ Tagger.default_options with Tagger.ratio_max = 0.02 } trace
+      deps report classification
+  in
+  check bool "tiny cap forces slice drops" true
+    (List.exists (fun s -> s.Tagger.dropped) tight.Tagger.slices);
+  check bool "ratio respected or only roots left" true
+    (tight.Tagger.dynamic_ratio < 0.4)
+
+let test_tagger_kind_selection () =
+  let trace = spill_chase_workload () in
+  let deps = Deps.compute trace in
+  let report = Profiler.profile trace in
+  let classification = Classifier.classify report Classifier.default in
+  let loads_only =
+    Tagger.build ~options:Tagger.load_slices_only trace deps report classification
+  in
+  check bool "no branch slices when disabled" true
+    (List.for_all (fun s -> s.Tagger.kind = `Load) loads_only.Tagger.slices);
+  let branches_only =
+    Tagger.build ~options:Tagger.branch_slices_only trace deps report classification
+  in
+  check bool "no load slices when disabled" true
+    (List.for_all (fun s -> s.Tagger.kind = `Branch) branches_only.Tagger.slices)
+
+let prop_tagged_pcs_exist =
+  QCheck.Test.make ~name:"tag map only covers program pcs" ~count:5 QCheck.unit
+    (fun () ->
+      let trace = spill_chase_workload ~nodes:500 () in
+      let deps = Deps.compute trace in
+      let report = Profiler.profile trace in
+      let c = Classifier.classify report Classifier.default in
+      let tagging = Tagger.build trace deps report c in
+      Array.length tagging.Tagger.critical
+      = Array.length trace.Executor.prog.Program.code)
+
+(* ---------------- IBDA ---------------- *)
+
+let test_ibda_marks_chain () =
+  let trace = spill_chase_workload () in
+  let result = Ibda.analyze Ibda.ist_infinite trace in
+  check bool "IBDA tags something" true (result.Ibda.tagged_dynamic > 0);
+  check bool "static coverage recorded" true (result.Ibda.tagged_static > 0)
+
+let test_ibda_misses_memory_deps () =
+  (* the spill/reload pattern: IBDA can tag the reload (a register
+     producer of the value load) but can never reach the spill store's
+     data producer through memory.  Verify the chain load (pc 0) is only
+     reachable as the DLT's own delinquent entry, not via slice insertion
+     from the value load: with a DLT too small to hold it, pc 1 (the
+     store) never gets tagged. *)
+  let trace = spill_chase_workload () in
+  let result = Ibda.analyze Ibda.ist_infinite trace in
+  let dyns = trace.Executor.dyns in
+  let store_tagged = ref false in
+  Array.iteri
+    (fun i (d : Executor.dyn) ->
+      if d.Executor.pc = 1 && Ibda.is_critical result i then store_tagged := true)
+    dyns;
+  check bool "spill store invisible to register-only IBDA" false !store_tagged
+
+let test_ibda_capacity_matters () =
+  let w = Catalog.make ~input:Workload.Train ~instrs:60_000 "moses" in
+  let trace = Workload.trace w in
+  let tiny = { Ibda.ist_entries = 128; ist_assoc = 4; dlt_entries = 32 } in
+  let small = Ibda.analyze tiny trace in
+  let big = Ibda.analyze Ibda.ist_infinite trace in
+  check bool "small IST evicts" true (small.Ibda.ist_evictions > 0);
+  check bool "unbounded IST never evicts" true (big.Ibda.ist_evictions = 0);
+  check bool "unbounded IST covers at least as many static pcs" true
+    (big.Ibda.tagged_static >= small.Ibda.tagged_static)
+
+(* ---------------- Section 6.1 extension ---------------- *)
+
+let test_long_op_classification () =
+  let open Program in
+  let insts =
+    [ Label "loop"; Div (1, 1, 2); Fadd (3, 3, 1); Alu (Isa.Add, 4, 4, Imm 1);
+      Br (Isa.Lt, 4, Imm 10_000, "loop"); Halt ]
+  in
+  let prog = assemble ~name:"div" insts in
+  let trace = Executor.run ~reg_init:[ (1, 1_000_000); (2, 1) ] ~max_instrs:20_000 prog in
+  let r = Profiler.profile trace in
+  check bool "divisions counted" true (Hashtbl.mem r.Profiler.long_ops 0);
+  let off = Classifier.classify r Classifier.default in
+  check int "extension off by default" 0 (List.length off.Classifier.long_ops);
+  let on =
+    Classifier.classify r
+      { Classifier.default with Classifier.long_op_exec_share_min = 0.05 }
+  in
+  check bool "division pc flagged when enabled" true
+    (List.mem_assoc 0 on.Classifier.long_ops);
+  let deps = Deps.compute trace in
+  let tagging =
+    Tagger.build
+      ~options:{ Tagger.default_options with Tagger.use_long_op_slices = true } trace
+      deps r on
+  in
+  check bool "division tagged" true (Tagger.is_critical tagging 0)
+
+let test_division_experiment_gains () =
+  let sizes = { Experiments.eval_instrs = 40_000; train_instrs = 30_000 } in
+  let ooo, crisp = Experiments.division ~sizes () in
+  check bool "long-op prioritisation helps the division chain" true (crisp > ooo *. 1.05)
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "profiler",
+        [ Alcotest.test_case "per-pc counters" `Quick test_profiler_counts;
+          Alcotest.test_case "dependence-aware MLP" `Quick
+            test_profiler_mlp_serial_vs_parallel;
+          Alcotest.test_case "branch profiling" `Quick test_branch_profiling ] );
+      ( "classifier",
+        [ Alcotest.test_case "finds delinquent loads" `Quick
+            test_classifier_finds_delinquents;
+          Alcotest.test_case "threshold knobs" `Quick test_classifier_thresholds;
+          Alcotest.test_case "MLP filter (bwaves)" `Quick test_classifier_mlp_filter;
+          Alcotest.test_case "stride filter (fotonik)" `Quick
+            test_classifier_stride_filter ] );
+      ( "slicer",
+        [ Alcotest.test_case "dependencies through memory" `Quick
+            test_slicer_follows_memory;
+          Alcotest.test_case "recursive termination" `Quick
+            test_slicer_recursion_terminates;
+          Alcotest.test_case "branch slices" `Quick test_slicer_branch_slice ] );
+      ( "critical path",
+        [ Alcotest.test_case "filters cheap side chains" `Quick
+            test_critical_path_filters_cheap_side_chains ] );
+      ( "tagger",
+        [ Alcotest.test_case "end to end" `Quick test_tagger_end_to_end;
+          Alcotest.test_case "ratio guardrail" `Quick test_tagger_ratio_guardrail;
+          Alcotest.test_case "slice-kind selection" `Quick test_tagger_kind_selection;
+          QCheck_alcotest.to_alcotest prop_tagged_pcs_exist ] );
+      ( "ibda",
+        [ Alcotest.test_case "marks slices online" `Quick test_ibda_marks_chain;
+          Alcotest.test_case "blind to memory deps" `Quick test_ibda_misses_memory_deps;
+          Alcotest.test_case "IST capacity" `Quick test_ibda_capacity_matters ] );
+      ( "section 6.1",
+        [ Alcotest.test_case "long-op classification" `Quick test_long_op_classification;
+          Alcotest.test_case "division experiment" `Slow test_division_experiment_gains ] ) ]

@@ -1,0 +1,83 @@
+(* Tests for the DRAM timing model. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let params = Dram.ddr4_2400
+
+let test_row_hit_faster_than_conflict () =
+  let d = Dram.create params in
+  (* Distant request times so queueing does not interfere. *)
+  let t0 = Dram.request d ~cycle:0 ~addr:0 in
+  let hit = Dram.request d ~cycle:10_000 ~addr:64 in
+  let conflict = Dram.request d ~cycle:20_000 ~addr:(params.Dram.row_bytes * 16 * 4) in
+  let hit_latency = hit - 10_000 in
+  let first_latency = t0 in
+  check bool "row hit is cheaper than a first activation" true
+    (hit_latency < first_latency);
+  check int "row hit costs CAS + burst"
+    (params.Dram.t_cas + params.Dram.t_burst) hit_latency;
+  (* same bank, different row: precharge + activate + cas *)
+  ignore conflict;
+  check int "row hits counted" 1 (Dram.row_hits d)
+
+let test_row_conflict_costs_precharge () =
+  let d = Dram.create params in
+  ignore (Dram.request d ~cycle:0 ~addr:0);
+  (* find an address mapping to the same bank but a different row by probing:
+     row_bytes * banks strides revisit the same bank *)
+  let same_bank_other_row = params.Dram.row_bytes * params.Dram.banks in
+  let t = Dram.request d ~cycle:10_000 ~addr:same_bank_other_row in
+  check int "conflict costs RP + RCD + CAS + burst"
+    (params.Dram.t_rp + params.Dram.t_rcd + params.Dram.t_cas + params.Dram.t_burst)
+    (t - 10_000);
+  check int "conflict counted" 1 (Dram.row_conflicts d)
+
+let test_bank_parallelism_beats_serialization () =
+  (* N requests to N different banks complete sooner than N requests to one
+     row-conflicting bank. *)
+  let run addrs =
+    let d = Dram.create params in
+    List.fold_left (fun latest addr -> max latest (Dram.request d ~cycle:0 ~addr)) 0 addrs
+  in
+  let different_banks = List.init 8 (fun i -> i * params.Dram.row_bytes) in
+  let same_bank =
+    List.init 8 (fun i -> i * params.Dram.row_bytes * params.Dram.banks)
+  in
+  check bool "bank-level parallelism" true (run different_banks < run same_bank)
+
+let test_bus_serializes_transfers () =
+  let d = Dram.create params in
+  let a = Dram.request d ~cycle:0 ~addr:0 in
+  let b = Dram.request d ~cycle:0 ~addr:params.Dram.row_bytes in
+  (* different banks, same time: data transfers serialise on the channel *)
+  check bool "second transfer at least one burst later" true
+    (b >= a + params.Dram.t_burst || a >= b + params.Dram.t_burst)
+
+let prop_completion_after_request =
+  QCheck.Test.make ~name:"completion is always after the request" ~count:50
+    QCheck.(pair small_int small_int)
+    (fun (seed, n) ->
+      let d = Dram.create params in
+      let rng = Prng.create (seed + 3) in
+      let n = (n mod 50) + 1 in
+      let ok = ref true in
+      let cycle = ref 0 in
+      for _ = 1 to n do
+        cycle := !cycle + Prng.int rng 100;
+        let t = Dram.request d ~cycle:!cycle ~addr:(Prng.int rng (1 lsl 24)) in
+        if t <= !cycle then ok := false
+      done;
+      !ok && Dram.requests d = n)
+
+let () =
+  Alcotest.run "dram"
+    [ ( "dram",
+        [ Alcotest.test_case "row hit vs activation" `Quick
+            test_row_hit_faster_than_conflict;
+          Alcotest.test_case "row conflict cost" `Quick test_row_conflict_costs_precharge;
+          Alcotest.test_case "bank parallelism" `Quick
+            test_bank_parallelism_beats_serialization;
+          Alcotest.test_case "bus serialisation" `Quick test_bus_serializes_transfers;
+          QCheck_alcotest.to_alcotest prop_completion_after_request ] ) ]

@@ -1,0 +1,107 @@
+(* End-to-end integration tests: the full FDO flow, the experiment runner,
+   and the headline behaviours the paper reports. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let sizes = { Experiments.eval_instrs = 60_000; train_instrs = 50_000 }
+
+let speedup name variant =
+  Runner.speedup_over_ooo ~eval_instrs:sizes.Experiments.eval_instrs
+    ~train_instrs:sizes.Experiments.train_instrs ~name variant
+
+let test_fdo_flow () =
+  let w = Catalog.pointer_chase ~input:Workload.Train ~instrs:40_000 () in
+  let artifacts = Fdo.analyze w in
+  check bool "delinquent loads found" true
+    (List.length artifacts.Fdo.classification.Classifier.delinquent_loads > 0);
+  check bool "tags produced" true (artifacts.Fdo.tagging.Tagger.static_count > 0);
+  check bool "tag ratio sane" true
+    (artifacts.Fdo.tagging.Tagger.dynamic_ratio < 0.40001)
+
+let test_crisp_beats_ooo_on_pointer_chase () =
+  let s = speedup "pointer_chase" Runner.crisp_default in
+  check bool "CRISP gains >5% on the microbenchmark" true (s > 1.05)
+
+let test_crisp_neutral_on_streaming () =
+  let s = speedup "fotonik" Runner.crisp_default in
+  check bool "no effect on prefetcher-covered code" true (abs_float (s -. 1.) < 0.01)
+
+let test_crisp_declines_high_mlp () =
+  let s = speedup "bwaves" Runner.crisp_default in
+  check bool "no tags, no change on high-MLP phases" true (abs_float (s -. 1.) < 0.01)
+
+let test_crisp_beats_ibda_where_memory_deps_matter () =
+  (* namd's slice passes through a stack spill that IBDA cannot see *)
+  let crisp = speedup "namd" Runner.crisp_default in
+  let ibda = speedup "namd" (Runner.Ibda Ibda.ist_infinite) in
+  check bool "CRISP >= IBDA on namd" true (crisp >= ibda -. 0.002)
+
+let test_runner_caching () =
+  Runner.clear_cache ();
+  let t0 = Unix.gettimeofday () in
+  let a =
+    Runner.evaluate ~eval_instrs:30_000 ~train_instrs:20_000 ~name:"mcf" Runner.Ooo
+  in
+  let t1 = Unix.gettimeofday () in
+  let b =
+    Runner.evaluate ~eval_instrs:30_000 ~train_instrs:20_000 ~name:"mcf" Runner.Ooo
+  in
+  let t2 = Unix.gettimeofday () in
+  check bool "cached result identical" true (a.Runner.stats = b.Runner.stats);
+  check bool "cached result fast" true (t2 -. t1 < (t1 -. t0) /. 5.)
+
+let test_branch_slices_help_branch_bound_code () =
+  let combined = speedup "deepsjeng" Runner.crisp_default in
+  let branch_only =
+    speedup "deepsjeng" (Runner.Crisp (Classifier.default, Tagger.branch_slices_only))
+  in
+  check bool "branch slices alone carry deepsjeng" true (branch_only > 1.02);
+  check bool "combined at least comparable" true (combined >= branch_only -. 0.05)
+
+let test_prefix_grows_footprint () =
+  let rows = Experiments.fig12 ~sizes () in
+  List.iter
+    (fun (name, values) ->
+      match values with
+      | [ static_overhead; dynamic_overhead; _ ] ->
+        check bool (name ^ " static overhead within 10%") true
+          (static_overhead >= 0. && static_overhead < 0.10);
+        check bool (name ^ " dynamic overhead within 15%") true
+          (dynamic_overhead >= 0. && dynamic_overhead < 0.15)
+      | _ -> Alcotest.fail "fig12 row shape")
+    rows
+
+let test_fig3_slice () =
+  let pcs = Experiments.fig3 () in
+  check bool "microbenchmark slice is compact" true (List.length pcs <= 4)
+
+let test_experiment_shapes () =
+  let fig4 = Experiments.fig4 ~sizes () in
+  check int "fig4 covers all apps" (List.length Experiments.apps) (List.length fig4);
+  let moses_slice = List.assoc "moses" fig4 in
+  let fotonik_slice = List.assoc "fotonik" fig4 in
+  check bool "moses slices dwarf fotonik's" true (moses_slice > fotonik_slice);
+  let fig11 = Experiments.fig11 ~sizes () in
+  let moses_tags = List.assoc "moses" fig11 in
+  let imgdnn_tags = List.assoc "imgdnn" fig11 in
+  check bool "moses tags many more instructions than imgdnn" true
+    (moses_tags > imgdnn_tags)
+
+let () =
+  Alcotest.run "integration"
+    [ ( "integration",
+        [ Alcotest.test_case "FDO flow end-to-end" `Quick test_fdo_flow;
+          Alcotest.test_case "CRISP > OOO on pointer chase" `Slow
+            test_crisp_beats_ooo_on_pointer_chase;
+          Alcotest.test_case "neutral on streaming" `Slow test_crisp_neutral_on_streaming;
+          Alcotest.test_case "declines high-MLP loads" `Slow test_crisp_declines_high_mlp;
+          Alcotest.test_case "CRISP vs IBDA on memory deps" `Slow
+            test_crisp_beats_ibda_where_memory_deps_matter;
+          Alcotest.test_case "runner caching" `Slow test_runner_caching;
+          Alcotest.test_case "branch slices on branch-bound code" `Slow
+            test_branch_slices_help_branch_bound_code;
+          Alcotest.test_case "prefix footprint bounds" `Slow test_prefix_grows_footprint;
+          Alcotest.test_case "figure 3 slice" `Quick test_fig3_slice;
+          Alcotest.test_case "figure shapes" `Slow test_experiment_shapes ] ) ]

@@ -1,0 +1,68 @@
+(* Unit tests for the micro-op ISA: functional-unit classes, latencies,
+   encoded sizes and predicate helpers. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let all_ops =
+  [ Isa.Alu Isa.Add; Isa.Alu Isa.Sub; Isa.Alu Isa.And; Isa.Alu Isa.Or;
+    Isa.Alu Isa.Xor; Isa.Alu Isa.Shl; Isa.Alu Isa.Shr; Isa.Alu Isa.Cmp;
+    Isa.Alu Isa.Mov; Isa.Li; Isa.Mul; Isa.Div; Isa.Fp_add; Isa.Fp_mul;
+    Isa.Fp_div; Isa.Load; Isa.Store; Isa.Prefetch; Isa.Branch Isa.Eq;
+    Isa.Branch Isa.Ne; Isa.Branch Isa.Lt; Isa.Branch Isa.Ge; Isa.Branch Isa.Le;
+    Isa.Branch Isa.Gt; Isa.Jump; Isa.Call; Isa.Ret; Isa.Nop; Isa.Halt ]
+
+let test_fu_classes () =
+  check bool "load uses load port" true (Isa.fu_of_op Isa.Load = Isa.Fu_load);
+  check bool "prefetch uses load port" true (Isa.fu_of_op Isa.Prefetch = Isa.Fu_load);
+  check bool "store uses store port" true (Isa.fu_of_op Isa.Store = Isa.Fu_store);
+  check bool "alu op uses alu port" true (Isa.fu_of_op (Isa.Alu Isa.Add) = Isa.Fu_alu);
+  check bool "branch uses alu port" true (Isa.fu_of_op (Isa.Branch Isa.Eq) = Isa.Fu_alu)
+
+let test_latencies () =
+  check int "simple alu is single cycle" 1 (Isa.exec_latency (Isa.Alu Isa.Add));
+  check int "branch is single cycle" 1 (Isa.exec_latency (Isa.Branch Isa.Lt));
+  check bool "divide is the longest integer op" true
+    (Isa.exec_latency Isa.Div > Isa.exec_latency Isa.Mul);
+  check bool "fp divide longer than fp multiply" true
+    (Isa.exec_latency Isa.Fp_div > Isa.exec_latency Isa.Fp_mul);
+  List.iter
+    (fun op -> check bool "latency positive" true (Isa.exec_latency op >= 1))
+    all_ops
+
+let test_sizes () =
+  List.iter
+    (fun op ->
+      let size = Isa.byte_size op in
+      check bool "encoded size in 1..8 bytes" true (size >= 1 && size <= 8))
+    all_ops;
+  check int "criticality prefix is one byte" 1 Isa.prefix_bytes
+
+let test_predicates () =
+  check bool "branch detected" true (Isa.is_branch Isa.Jump);
+  check bool "call is a branch" true (Isa.is_branch Isa.Call);
+  check bool "load is not a branch" false (Isa.is_branch Isa.Load);
+  check bool "conditional only for Branch" true (Isa.is_conditional (Isa.Branch Isa.Gt));
+  check bool "jump is not conditional" false (Isa.is_conditional Isa.Jump);
+  check bool "store touches memory" true (Isa.is_mem Isa.Store);
+  check bool "prefetch touches memory" true (Isa.is_mem Isa.Prefetch);
+  check bool "load writes a register" true (Isa.writes_reg Isa.Load);
+  check bool "store writes no register" false (Isa.writes_reg Isa.Store);
+  check bool "branch writes no register" false (Isa.writes_reg (Isa.Branch Isa.Eq))
+
+let test_names () =
+  check Alcotest.string "load mnemonic" "ld" (Isa.op_name Isa.Load);
+  check Alcotest.string "branch mnemonic" "beq" (Isa.op_name (Isa.Branch Isa.Eq));
+  let names = List.map Isa.op_name all_ops in
+  check int "mnemonics are distinct" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let () =
+  Alcotest.run "isa"
+    [ ( "isa",
+        [ Alcotest.test_case "functional-unit classes" `Quick test_fu_classes;
+          Alcotest.test_case "latencies" `Quick test_latencies;
+          Alcotest.test_case "encoded sizes" `Quick test_sizes;
+          Alcotest.test_case "predicates" `Quick test_predicates;
+          Alcotest.test_case "mnemonics" `Quick test_names ] ) ]

@@ -1,0 +1,125 @@
+(* Tests for the composed memory hierarchy: levels, MSHR behaviour, miss
+   merging, instruction path and the functional interface. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let no_prefetch =
+  { Memory_system.skylake with Memory_system.enable_bop = false; enable_stream = false }
+
+let test_levels () =
+  let m = Memory_system.create no_prefetch in
+  (match Memory_system.load m ~cycle:0 ~addr:4096 with
+  | `Done (t, Memory_system.Mem) -> check bool "first touch goes to DRAM" true (t > 40)
+  | `Done _ -> Alcotest.fail "expected DRAM service"
+  | `Mshr_full -> Alcotest.fail "mshr full on idle system");
+  match Memory_system.load m ~cycle:10_000 ~addr:4096 with
+  | `Done (t, Memory_system.L1) ->
+    check int "L1 hit at L1 latency" (10_000 + no_prefetch.Memory_system.l1d_latency) t
+  | `Done _ | `Mshr_full -> Alcotest.fail "expected an L1 hit after the fill"
+
+let test_llc_hit_level () =
+  let m = Memory_system.create no_prefetch in
+  ignore (Memory_system.load m ~cycle:0 ~addr:0);
+  (* evict from L1 (32 KiB, 8-way) by touching 9 conflicting lines; L1 has
+     64 sets, so stride 64*64 revisits set 0 *)
+  for i = 1 to 9 do
+    ignore (Memory_system.load m ~cycle:(1000 * i) ~addr:(i * 64 * 64))
+  done;
+  match Memory_system.load m ~cycle:100_000 ~addr:0 with
+  | `Done (t, Memory_system.Llc) ->
+    check int "LLC hit at LLC latency" (100_000 + no_prefetch.Memory_system.llc_latency) t
+  | `Done (_, Memory_system.L1) -> Alcotest.fail "line should have left L1"
+  | `Done (_, Memory_system.Mem) -> Alcotest.fail "line should still be in LLC"
+  | `Mshr_full -> Alcotest.fail "unexpected mshr pressure"
+
+let test_miss_merging () =
+  let m = Memory_system.create no_prefetch in
+  let t1 =
+    match Memory_system.load m ~cycle:0 ~addr:8192 with
+    | `Done (t, _) -> t
+    | `Mshr_full -> Alcotest.fail "mshr"
+  in
+  (* a second access to the same line while in flight merges *)
+  match Memory_system.load m ~cycle:1 ~addr:8200 with
+  | `Done (t2, _) -> check int "merged onto outstanding fill" t1 t2
+  | `Mshr_full -> Alcotest.fail "merge should not need an MSHR"
+
+let test_mshr_capacity () =
+  let m = Memory_system.create { no_prefetch with Memory_system.mshrs = 4 } in
+  let results =
+    List.init 6 (fun i -> Memory_system.load m ~cycle:0 ~addr:((i + 1) * 1_000_000))
+  in
+  let full = List.filter (fun r -> r = `Mshr_full) results in
+  check int "two loads rejected at 4 MSHRs" 2 (List.length full);
+  check int "outstanding misses capped" 4 (Memory_system.outstanding_misses m ~cycle:0)
+
+let test_outstanding_drains () =
+  let m = Memory_system.create no_prefetch in
+  ignore (Memory_system.load m ~cycle:0 ~addr:65536);
+  check int "one outstanding" 1 (Memory_system.outstanding_misses m ~cycle:1);
+  check int "drained after completion" 0
+    (Memory_system.outstanding_misses m ~cycle:100_000)
+
+let test_store_commit_allocates () =
+  let m = Memory_system.create no_prefetch in
+  Memory_system.store_commit m ~cycle:0 ~addr:12345;
+  match Memory_system.load m ~cycle:100 ~addr:12345 with
+  | `Done (_, Memory_system.L1) -> ()
+  | `Done _ | `Mshr_full -> Alcotest.fail "store should write-allocate into L1"
+
+let test_inst_path () =
+  let m = Memory_system.create no_prefetch in
+  let t1, level1 = Memory_system.fetch m ~cycle:0 ~addr:0x400000 in
+  check bool "cold instruction fetch misses" true (level1 <> Memory_system.L1);
+  check bool "takes time" true (t1 > no_prefetch.Memory_system.l1i_latency);
+  let t2, level2 = Memory_system.fetch m ~cycle:100_000 ~addr:0x400004 in
+  check bool "same line hits L1I" true (level2 = Memory_system.L1);
+  check int "L1I latency" (100_000 + no_prefetch.Memory_system.l1i_latency) t2
+
+let test_fdip_prefetch () =
+  let m = Memory_system.create no_prefetch in
+  check bool "line absent" false (Memory_system.probe_inst m ~addr:0x500000);
+  Memory_system.prefetch_inst m ~cycle:0 ~addr:0x500000;
+  check bool "line present after FDIP fill" true
+    (Memory_system.probe_inst m ~addr:0x500000);
+  let t, level = Memory_system.fetch m ~cycle:1000 ~addr:0x500000 in
+  check bool "demand fetch hits" true (level = Memory_system.L1);
+  check int "at L1I latency" (1000 + no_prefetch.Memory_system.l1i_latency) t
+
+let test_functional_matches_levels () =
+  let m = Memory_system.create no_prefetch in
+  check bool "first touch -> Mem" true
+    (Memory_system.load_functional m ~addr:777_000 = Memory_system.Mem);
+  check bool "second touch -> L1" true
+    (Memory_system.load_functional m ~addr:777_000 = Memory_system.L1)
+
+let test_prefetchers_cover_stream () =
+  let m = Memory_system.create Memory_system.skylake in
+  (* a long unit-stride walk: after warmup, most accesses hit thanks to
+     BOP/stream *)
+  let misses = ref 0 in
+  for i = 0 to 2999 do
+    match Memory_system.load_functional m ~addr:(i * 64) with
+    | Memory_system.Mem -> incr misses
+    | Memory_system.L1 | Memory_system.Llc -> ()
+  done;
+  check bool "prefetchers cover a sequential stream (<20% DRAM)" true
+    (!misses < 600);
+  let stats = Memory_system.stats m in
+  check bool "prefetches were issued" true (stats.Memory_system.prefetches_issued > 100)
+
+let () =
+  Alcotest.run "mem_system"
+    [ ( "memory system",
+        [ Alcotest.test_case "service levels" `Quick test_levels;
+          Alcotest.test_case "LLC hit level" `Quick test_llc_hit_level;
+          Alcotest.test_case "miss merging" `Quick test_miss_merging;
+          Alcotest.test_case "MSHR capacity" `Quick test_mshr_capacity;
+          Alcotest.test_case "outstanding drains" `Quick test_outstanding_drains;
+          Alcotest.test_case "store write-allocate" `Quick test_store_commit_allocates;
+          Alcotest.test_case "instruction path" `Quick test_inst_path;
+          Alcotest.test_case "FDIP prefetch" `Quick test_fdip_prefetch;
+          Alcotest.test_case "functional interface" `Quick test_functional_matches_levels;
+          Alcotest.test_case "stream coverage" `Quick test_prefetchers_cover_stream ] ) ]

@@ -1,0 +1,285 @@
+(* Tests for the trace substrate: PRNG, growable vectors, the assembler,
+   the functional executor, dependency pre-computation and code layout. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ---------------- Prng ---------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check int "same seed, same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 13 in
+    check bool "bounded draw" true (v >= 0 && v < 13)
+  done
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 3 in
+  let a = Array.init 64 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check bool "shuffle preserves elements" true (sorted = Array.init 64 (fun i -> i));
+  check bool "shuffle moved something" true (a <> Array.init 64 (fun i -> i))
+
+(* ---------------- Vec ---------------- *)
+
+let test_vec_grows () =
+  let v = Vec.create ~capacity:2 ~dummy:0 () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  check int "length" 100 (Vec.length v);
+  check int "first" 0 (Vec.get v 0);
+  check int "last" 99 (Vec.get v 99);
+  Vec.set v 50 (-1);
+  check int "set/get" (-1) (Vec.get v 50);
+  check int "to_array length" 100 (Array.length (Vec.to_array v));
+  Vec.clear v;
+  check int "cleared" 0 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.create ~dummy:0 () in
+  Vec.push v 1;
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 1))
+
+(* ---------------- Assembler ---------------- *)
+
+let test_assemble_labels () =
+  let open Program in
+  let prog =
+    assemble ~name:"t"
+      [ Label "start"; Li (1, 5); Jmp "end"; Label "mid"; Nop; Label "end"; Halt ]
+  in
+  check int "labels occupy no slot" 4 (Array.length prog.code);
+  check int "jmp resolves forward label" 3 prog.code.(1).target;
+  check bool "start label at 0" true (List.mem_assoc "start" prog.labels)
+
+let test_assemble_errors () =
+  let open Program in
+  (try
+     ignore (assemble ~name:"dup" [ Label "a"; Label "a"; Halt ]);
+     Alcotest.fail "duplicate label accepted"
+   with Assembly_error _ -> ());
+  (try
+     ignore (assemble ~name:"undef" [ Jmp "nowhere" ]);
+     Alcotest.fail "undefined label accepted"
+   with Assembly_error _ -> ());
+  try
+    ignore (assemble ~name:"badreg" [ Li (Isa.num_regs, 0) ]);
+    Alcotest.fail "bad register accepted"
+  with Assembly_error _ -> ()
+
+let test_decode_fields () =
+  let open Program in
+  let prog =
+    assemble ~name:"fields"
+      [ Ld (3, 4, 16); St (5, 6, 24); Br (Isa.Lt, 7, Imm 9, "l"); Label "l"; Halt ]
+  in
+  let ld = prog.code.(0) in
+  check int "load dst" 3 ld.dst;
+  check int "load base" 4 ld.src1;
+  check int "load offset" 16 ld.imm;
+  let st = prog.code.(1) in
+  check int "store has no dst" (-1) st.dst;
+  check int "store data reg" 5 st.src1;
+  check int "store base reg" 6 st.src2;
+  let br = prog.code.(2) in
+  check int "branch immediate operand" 9 br.imm;
+  check int "branch src2 absent" (-1) br.src2;
+  check int "branch target" 3 br.target
+
+(* ---------------- Executor ---------------- *)
+
+let run_program ?(regs = []) ?mem insts =
+  let prog = Program.assemble ~name:"t" insts in
+  Executor.run ~reg_init:regs ?mem_init:mem ~max_instrs:10_000 prog
+
+let test_executor_arithmetic () =
+  let open Program in
+  (* compute 6! iteratively: r1 = n, r2 = acc *)
+  let trace =
+    run_program ~regs:[ (1, 6); (2, 1) ]
+      [ Label "loop";
+        Br (Isa.Le, 1, Imm 0, "done");
+        Mul (2, 2, 1);
+        Alu (Isa.Sub, 1, 1, Imm 1);
+        Jmp "loop";
+        Label "done";
+        St (2, 3, 0);
+        Halt ]
+  in
+  check bool "halted" true trace.Executor.halted;
+  (* the store captured the final accumulator *)
+  let store =
+    Array.to_list trace.Executor.dyns
+    |> List.find (fun (d : Executor.dyn) -> d.Executor.op = Isa.Store)
+  in
+  check int "store address" 0 store.Executor.addr
+
+let test_executor_memory () =
+  let open Program in
+  let trace =
+    run_program ~regs:[ (1, 1000) ]
+      [ Li (2, 77); St (2, 1, 8); Ld (3, 1, 8); St (3, 1, 16); Halt ]
+  in
+  let dyns = trace.Executor.dyns in
+  check int "load sees stored value via addr" 1008 dyns.(2).Executor.addr;
+  check int "second store writes loaded value" 1016 dyns.(3).Executor.addr
+
+let test_executor_branch_outcomes () =
+  let open Program in
+  let trace =
+    run_program ~regs:[ (1, 5) ]
+      [ Br (Isa.Gt, 1, Imm 3, "taken"); Nop; Label "taken"; Halt ]
+  in
+  let d = trace.Executor.dyns.(0) in
+  check bool "branch taken" true d.Executor.taken;
+  check int "branch target" 2 d.Executor.next_pc;
+  check int "nop skipped" 2 (Array.length trace.Executor.dyns)
+
+let test_executor_call_ret () =
+  let open Program in
+  let trace =
+    run_program
+      [ Call "f"; Li (1, 1); Halt; Label "f"; Li (2, 2); Ret ]
+  in
+  let pcs = Array.map (fun (d : Executor.dyn) -> d.Executor.pc) trace.Executor.dyns in
+  check bool "call/ret sequence" true (pcs = [| 0; 3; 4; 1; 2 |])
+
+let test_executor_ret_underflow_halts () =
+  let open Program in
+  let trace = run_program [ Ret; Nop ] in
+  check bool "ret on empty stack halts" true trace.Executor.halted;
+  check int "only the ret executed" 1 (Array.length trace.Executor.dyns)
+
+let test_executor_max_instrs () =
+  let open Program in
+  let prog = Program.assemble ~name:"inf" [ Label "l"; Nop; Jmp "l" ] in
+  let trace = Executor.run ~max_instrs:100 prog in
+  check bool "not halted" false trace.Executor.halted;
+  check int "cut at limit" 100 (Array.length trace.Executor.dyns)
+
+let test_executor_counters () =
+  let open Program in
+  let trace =
+    run_program ~regs:[ (1, 1000); (2, 3) ]
+      [ Ld (3, 1, 0); St (3, 1, 8); Br (Isa.Eq, 2, Imm 3, "l"); Label "l";
+        Prefetch (1, 0); Halt ]
+  in
+  check int "one load" 1 (Executor.load_count trace);
+  check int "one conditional branch" 1 (Executor.branch_count trace)
+
+let prop_executor_deterministic =
+  QCheck.Test.make ~name:"executor is deterministic" ~count:50
+    QCheck.(pair small_int small_int)
+    (fun (seed, len) ->
+      let rng = Prng.create (seed + 1) in
+      let len = (len mod 20) + 5 in
+      let open Program in
+      let insts =
+        List.init len (fun i ->
+            match Prng.int rng 5 with
+            | 0 -> Li (Prng.int rng 8, Prng.int rng 100)
+            | 1 -> Alu (Isa.Add, Prng.int rng 8, Prng.int rng 8, Imm (Prng.int rng 10))
+            | 2 -> Mul (Prng.int rng 8, Prng.int rng 8, Prng.int rng 8)
+            | 3 -> St (Prng.int rng 8, 9, 8 * i)
+            | _ -> Ld (Prng.int rng 8, 9, 8 * i))
+      in
+      let prog = assemble ~name:"rand" (insts @ [ Halt ]) in
+      let t1 = Executor.run ~reg_init:[ (9, 4096) ] ~max_instrs:1000 prog in
+      let t2 = Executor.run ~reg_init:[ (9, 4096) ] ~max_instrs:1000 prog in
+      t1.Executor.dyns = t2.Executor.dyns)
+
+(* ---------------- Deps ---------------- *)
+
+let test_deps_registers () =
+  let open Program in
+  let trace =
+    run_program [ Li (1, 3); Li (2, 4); Alu (Isa.Add, 3, 1, Reg 2); Halt ]
+  in
+  let deps = Deps.compute trace in
+  check int "src1 producer" 0 deps.Deps.prod1.(2);
+  check int "src2 producer" 1 deps.Deps.prod2.(2)
+
+let test_deps_through_memory () =
+  let open Program in
+  let trace =
+    run_program ~regs:[ (1, 512) ]
+      [ Li (2, 9); St (2, 1, 0); Ld (3, 1, 0); Halt ]
+  in
+  let deps = Deps.compute trace in
+  check int "load depends on the store through memory" 1 deps.Deps.prod_mem.(2);
+  check bool "store listed among producers" true (List.mem 1 (Deps.producers deps 2))
+
+let test_deps_no_false_memory_edge () =
+  let open Program in
+  let trace =
+    run_program ~regs:[ (1, 512) ]
+      [ Li (2, 9); St (2, 1, 0); Ld (3, 1, 64); Halt ]
+  in
+  let deps = Deps.compute trace in
+  check int "different address, no memory edge" (-1) deps.Deps.prod_mem.(2)
+
+(* ---------------- Layout ---------------- *)
+
+let test_layout_prefix_grows_code () =
+  let open Program in
+  let prog = assemble ~name:"l" [ Li (1, 1); Ld (2, 1, 0); Halt ] in
+  let base = Layout.static_bytes prog ~critical:(fun _ -> false) in
+  let tagged = Layout.static_bytes prog ~critical:(fun pc -> pc = 1) in
+  check int "one prefix byte added" (base + Isa.prefix_bytes) tagged;
+  let layout = Layout.compute ~critical:(fun pc -> pc = 0) prog in
+  check int "second instruction shifted by the prefix"
+    (layout.Layout.base + Isa.byte_size Isa.Li + Isa.prefix_bytes)
+    (Layout.addr_of layout 1)
+
+let test_layout_dynamic_weighting () =
+  let open Program in
+  let prog =
+    assemble ~name:"dyn" [ Li (1, 0); Label "l"; Alu (Isa.Add, 1, 1, Imm 1);
+                           Br (Isa.Lt, 1, Imm 10, "l"); Halt ]
+  in
+  let trace = Executor.run ~max_instrs:1000 prog in
+  let base = Layout.dynamic_bytes trace ~critical:(fun _ -> false) in
+  let tagged = Layout.dynamic_bytes trace ~critical:(fun pc -> pc = 1) in
+  (* pc 1 executes 10 times, so the dynamic footprint grows by 10 bytes *)
+  check int "dynamic overhead = executions of the tagged pc" (base + 10) tagged
+
+let () =
+  Alcotest.run "trace"
+    [ ( "prng",
+        [ Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes ] );
+      ( "vec",
+        [ Alcotest.test_case "push/grow/get" `Quick test_vec_grows;
+          Alcotest.test_case "bounds check" `Quick test_vec_bounds ] );
+      ( "assembler",
+        [ Alcotest.test_case "label resolution" `Quick test_assemble_labels;
+          Alcotest.test_case "assembly errors" `Quick test_assemble_errors;
+          Alcotest.test_case "decoded fields" `Quick test_decode_fields ] );
+      ( "executor",
+        [ Alcotest.test_case "arithmetic loop" `Quick test_executor_arithmetic;
+          Alcotest.test_case "memory round-trip" `Quick test_executor_memory;
+          Alcotest.test_case "branch outcomes" `Quick test_executor_branch_outcomes;
+          Alcotest.test_case "call and return" `Quick test_executor_call_ret;
+          Alcotest.test_case "ret underflow halts" `Quick test_executor_ret_underflow_halts;
+          Alcotest.test_case "instruction budget" `Quick test_executor_max_instrs;
+          Alcotest.test_case "load/branch counters" `Quick test_executor_counters;
+          QCheck_alcotest.to_alcotest prop_executor_deterministic ] );
+      ( "deps",
+        [ Alcotest.test_case "register producers" `Quick test_deps_registers;
+          Alcotest.test_case "dependency through memory" `Quick test_deps_through_memory;
+          Alcotest.test_case "no false memory edges" `Quick test_deps_no_false_memory_edge ] );
+      ( "layout",
+        [ Alcotest.test_case "prefix grows code" `Quick test_layout_prefix_grows_code;
+          Alcotest.test_case "dynamic weighting" `Quick test_layout_dynamic_weighting ] ) ]
