@@ -7,6 +7,11 @@
      dune exec bench/main.exe fig7 fig8      -- selected figures
      dune exec bench/main.exe micro          -- Bechamel microbenchmarks
      dune exec bench/main.exe --eval N --train M fig9
+     dune exec bench/main.exe --jobs 8 fig7  -- grid cells on 8 worker domains
+
+   --jobs 0 (the default) uses one worker per recommended core; --jobs 1
+   bypasses the pool and runs sequentially.  Figure text is byte-identical
+   for every value.
 *)
 
 let micro_benchmarks () =
@@ -77,12 +82,16 @@ let micro_benchmarks () =
 
 let () =
   let args = Array.to_list Sys.argv in
+  let jobs = ref 0 in
   let rec parse sizes figures = function
     | [] -> (sizes, List.rev figures)
     | "--eval" :: n :: rest ->
       parse { sizes with Experiments.eval_instrs = int_of_string n } figures rest
     | "--train" :: n :: rest ->
       parse { sizes with Experiments.train_instrs = int_of_string n } figures rest
+    | "--jobs" :: n :: rest ->
+      jobs := int_of_string n;
+      parse sizes figures rest
     | arg :: rest -> parse sizes (arg :: figures) rest
   in
   let sizes, figures =
@@ -90,6 +99,12 @@ let () =
     | _ :: rest -> parse Experiments.default_sizes [] rest
     | [] -> (Experiments.default_sizes, [])
   in
+  let jobs = if !jobs <= 0 then Domain.recommended_domain_count () else !jobs in
+  let pool =
+    if jobs <= 1 then Exec.Pool.sequential else Exec.Pool.create ~workers:jobs ()
+  in
+  Experiments.set_pool pool;
+  at_exit (fun () -> Exec.Pool.shutdown pool);
   let run_one = function
     | "table1" -> Experiments.table1 ()
     | "motivating" -> ignore (Experiments.motivating ~sizes ())

@@ -157,7 +157,31 @@ let figures_arg =
   let doc = "Figures to regenerate (default: all)." in
   Arg.(value & pos_all string [] & info [] ~docv:"FIGURE" ~doc)
 
-let experiments figures instrs train_instrs =
+let jobs_arg =
+  let doc =
+    "Worker domains for the experiment grids (0 = one per recommended core). \
+     With $(docv) = 1 the pool is bypassed and every cell runs sequentially \
+     on the calling domain; any other value fans the (workload x variant) \
+     cells out to a work-stealing domain pool.  Figures are byte-identical \
+     for every value."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Install a pool for the duration of [f]; tear it down afterwards so a
+   later invocation (or an exception) never leaks worker domains. *)
+let with_jobs jobs f =
+  let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+  if jobs <= 1 then f ()
+  else begin
+    let pool = Exec.Pool.create ~workers:jobs () in
+    Experiments.set_pool pool;
+    Fun.protect f ~finally:(fun () ->
+        Experiments.set_pool Exec.Pool.sequential;
+        Exec.Pool.shutdown pool)
+  end
+
+let experiments figures instrs train_instrs jobs =
+  with_jobs jobs @@ fun () ->
   let sizes = { Experiments.eval_instrs = instrs; train_instrs } in
   let run_one = function
     | "table1" -> Experiments.table1 ()
@@ -196,7 +220,7 @@ let slices_cmd =
 
 let experiments_cmd =
   let info = Cmd.info "experiments" ~doc:"Regenerate paper tables and figures." in
-  Cmd.v info Term.(const experiments $ figures_arg $ instrs_arg $ train_arg)
+  Cmd.v info Term.(const experiments $ figures_arg $ instrs_arg $ train_arg $ jobs_arg)
 
 let list_cmd =
   let info = Cmd.info "list" ~doc:"List the workload catalog." in

@@ -7,6 +7,57 @@ let default_sizes = { eval_instrs = 100_000; train_instrs = 80_000 }
 
 let apps = Catalog.spec_names @ Catalog.datacenter_names
 
+(* ------------------------------------------------------------------ *)
+(* Job-graph mode: every (app x column) cell of a figure grid becomes a
+   job on the installed pool; rendering happens on the calling domain
+   once all cells have resolved.  The default pool is sequential, which
+   runs each cell inline at submission — the exact serial path. *)
+
+let pool = ref Exec.Pool.sequential
+
+let set_pool p = pool := p
+
+let current_pool () = !pool
+
+(* The pointer-chasing giants dominate the wall clock of every grid.  In
+   a nod to the paper's own topic, schedule the critical (long-pole)
+   jobs first so they never straggle behind a queue of cheap cells. *)
+let long_poles = [ "mcf"; "xhpcg"; "omnetpp"; "moses" ]
+
+let weight name = if List.mem name long_poles then 1 else 0
+
+(* [submit_cells ~names ~cols ~cell] fans the full grid out to the pool,
+   heaviest rows first, and reassembles rows in catalog order.  Cells are
+   pure (memoised through Runner), so execution order cannot change the
+   values. *)
+let submit_cells ~names ~cols ~cell =
+  let p = !pool in
+  let indexed = List.mapi (fun i name -> (i, name)) names in
+  let by_weight =
+    List.stable_sort (fun (_, a) (_, b) -> compare (weight b) (weight a)) indexed
+  in
+  let futures = Hashtbl.create (List.length names * List.length cols) in
+  List.iter
+    (fun (i, name) ->
+      List.iteri
+        (fun j col ->
+          Hashtbl.replace futures (i, j)
+            (Exec.Pool.submit p (fun () -> cell name col)))
+        cols)
+    by_weight;
+  List.map
+    (fun (i, name) ->
+      ( name,
+        List.mapi (fun j _ -> Exec.Pool.await p (Hashtbl.find futures (i, j))) cols ))
+    indexed
+
+(* Per-app grids (one value per row) are one-column cell grids. *)
+let submit_rows ~names ~row =
+  submit_cells ~names ~cols:[ () ] ~cell:(fun name () -> row name)
+  |> List.map (function
+       | name, [ v ] -> (name, v)
+       | _ -> assert false)
+
 let ipc_of (outcome : Runner.outcome) = Cpu_stats.ipc outcome.Runner.stats
 
 let gain ~sizes ~cfg ~name variant =
@@ -113,11 +164,9 @@ let fig3 () =
 
 let fig4 ?(sizes = default_sizes) () =
   let rows =
-    List.map
-      (fun name ->
+    submit_rows ~names:apps ~row:(fun name ->
         let artifacts = crisp_artifacts ~sizes ~name in
-        (name, Tagger.avg_load_slice_size artifacts.Fdo.tagging))
-      apps
+        Tagger.avg_load_slice_size artifacts.Fdo.tagging)
   in
   Report.print_bars ~title:"Figure 4: average load slice size (dynamic micro-ops)" rows;
   rows
@@ -132,9 +181,8 @@ let fig7 ?(sizes = default_sizes) () =
       Runner.Ibda Ibda.ist_infinite ]
   in
   let rows =
-    List.map
-      (fun name -> (name, List.map (fun v -> gain ~sizes ~cfg ~name v) variants))
-      apps
+    submit_cells ~names:apps ~cols:variants ~cell:(fun name v ->
+        gain ~sizes ~cfg ~name v)
   in
   let means =
     List.init (List.length variants) (fun i ->
@@ -155,9 +203,8 @@ let fig8 ?(sizes = default_sizes) () =
       Runner.crisp_default ]
   in
   let rows =
-    List.map
-      (fun name -> (name, List.map (fun v -> gain ~sizes ~cfg ~name v) variants))
-      apps
+    submit_cells ~names:apps ~cols:variants ~cell:(fun name v ->
+        gain ~sizes ~cfg ~name v)
   in
   Report.print_percent_table
     ~title:"Figure 8: load slices, branch slices, and their combination"
@@ -167,15 +214,9 @@ let fig8 ?(sizes = default_sizes) () =
 let fig9 ?(sizes = default_sizes) () =
   let windows = [ (64, 180); (96, 224); (144, 336); (192, 448) ] in
   let rows =
-    List.map
-      (fun name ->
-        ( name,
-          List.map
-            (fun (rs, rob) ->
-              let cfg = Cpu_config.with_window ~rs ~rob Cpu_config.skylake in
-              gain ~sizes ~cfg ~name Runner.crisp_default)
-            windows ))
-      apps
+    submit_cells ~names:apps ~cols:windows ~cell:(fun name (rs, rob) ->
+        let cfg = Cpu_config.with_window ~rs ~rob Cpu_config.skylake in
+        gain ~sizes ~cfg ~name Runner.crisp_default)
   in
   Report.print_percent_table
     ~title:"Figure 9: CRISP gain vs reservation-station / ROB size"
@@ -186,16 +227,9 @@ let fig10 ?(sizes = default_sizes) () =
   let cfg = Cpu_config.skylake in
   let thresholds = [ 0.05; 0.01; 0.002 ] in
   let rows =
-    List.map
-      (fun name ->
-        ( name,
-          List.map
-            (fun t ->
-              let classifier = Classifier.with_miss_contribution t Classifier.default in
-              gain ~sizes ~cfg ~name
-                (Runner.Crisp (classifier, Tagger.default_options)))
-            thresholds ))
-      apps
+    submit_cells ~names:apps ~cols:thresholds ~cell:(fun name t ->
+        let classifier = Classifier.with_miss_contribution t Classifier.default in
+        gain ~sizes ~cfg ~name (Runner.Crisp (classifier, Tagger.default_options)))
   in
   Report.print_percent_table
     ~title:"Figure 10: sensitivity to the miss-contribution threshold T"
@@ -204,19 +238,16 @@ let fig10 ?(sizes = default_sizes) () =
 
 let fig11 ?(sizes = default_sizes) () =
   let rows =
-    List.map
-      (fun name ->
+    submit_rows ~names:apps ~row:(fun name ->
         let artifacts = crisp_artifacts ~sizes ~name in
-        (name, float_of_int artifacts.Fdo.tagging.Tagger.static_count))
-      apps
+        float_of_int artifacts.Fdo.tagging.Tagger.static_count)
   in
   Report.print_bars ~title:"Figure 11: total static critical instructions" rows;
   rows
 
 let fig12 ?(sizes = default_sizes) () =
   let rows =
-    List.map
-      (fun name ->
+    submit_cells ~names:apps ~cols:[ () ] ~cell:(fun name () ->
         let artifacts = crisp_artifacts ~sizes ~name in
         let critical = Tagger.is_critical artifacts.Fdo.tagging in
         let eval_workload =
@@ -241,11 +272,10 @@ let fig12 ?(sizes = default_sizes) () =
         let mpki_delta =
           if mpki_base < 0.01 then 0. else (mpki_tagged -. mpki_base) /. mpki_base
         in
-        ( name,
-          [ (float_of_int static_tagged /. float_of_int static_base) -. 1.;
-            (float_of_int dyn_tagged /. float_of_int dyn_base) -. 1.;
-            mpki_delta ] ))
-      apps
+        [ (float_of_int static_tagged /. float_of_int static_base) -. 1.;
+          (float_of_int dyn_tagged /. float_of_int dyn_base) -. 1.;
+          mpki_delta ])
+    |> List.map (function name, [ v ] -> (name, v) | _ -> assert false)
   in
   Report.print_percent_table
     ~title:"Figure 12: code-footprint overhead of the criticality prefix"
@@ -258,13 +288,21 @@ let ablations ?(sizes = default_sizes) () =
   let no_filter = { Tagger.default_options with Tagger.critical_path_filter = false } in
   let no_memory = { Tagger.default_options with Tagger.follow_memory = false } in
   let no_guardrail = { Tagger.default_options with Tagger.ratio_max = 1.0 } in
+  let crisp options = Runner.Crisp (Classifier.default, options) in
+  let cols =
+    [ crisp Tagger.default_options;
+      crisp no_filter;
+      crisp no_memory;
+      crisp no_guardrail;
+      (* The random-pick scheduler is compared against the oldest-ready
+         baseline with no tags on either side. *)
+      Runner.Ooo ]
+  in
+  let random_col = List.length cols - 1 in
   let rows =
-    List.map
-      (fun name ->
-        let crisp options = Runner.Crisp (Classifier.default, options) in
-        (* The random-pick scheduler is compared against the oldest-ready
-           baseline with no tags on either side. *)
-        let random =
+    submit_cells ~names:subset ~cols:(List.mapi (fun j v -> (j, v)) cols)
+      ~cell:(fun name (j, v) ->
+        if j = random_col then begin
           let base =
             Runner.evaluate ~cfg ~eval_instrs:sizes.eval_instrs
               ~train_instrs:sizes.train_instrs ~name Runner.Ooo
@@ -276,14 +314,8 @@ let ablations ?(sizes = default_sizes) () =
               Runner.Ooo
           in
           (ipc_of rnd /. ipc_of base) -. 1.
-        in
-        ( name,
-          [ gain ~sizes ~cfg ~name (crisp Tagger.default_options);
-            gain ~sizes ~cfg ~name (crisp no_filter);
-            gain ~sizes ~cfg ~name (crisp no_memory);
-            gain ~sizes ~cfg ~name (crisp no_guardrail);
-            random ] ))
-      subset
+        end
+        else gain ~sizes ~cfg ~name v)
   in
   Report.print_percent_table
     ~title:"Ablations: CRISP design choices (gain over OOO)"

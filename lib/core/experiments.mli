@@ -15,6 +15,18 @@ type sizes = {
 
 val default_sizes : sizes
 
+val set_pool : Exec.Pool.t -> unit
+(** Install the execution pool for the figure grids (job-graph mode):
+    every (application x column) cell of a table or figure is submitted
+    as one job, long-pole applications first, and the figure renders on
+    the calling domain when all cells have resolved.  The default is
+    {!Exec.Pool.sequential}, which runs cells inline in submission order
+    — the pure-sequential escape hatch behind [--jobs 1].  Cells are
+    memoised pure computations, so the rendered figures are byte-identical
+    for any pool. *)
+
+val current_pool : unit -> Exec.Pool.t
+
 val apps : string list
 (** The 16 applications of Figures 4 and 7-12 (SPEC proxies, Xhpcg,
     TailBench proxies); the pointer-chase microbenchmark appears only in

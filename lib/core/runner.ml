@@ -10,13 +10,25 @@ type outcome = {
   artifacts : Fdo.artifacts option;
 }
 
-let cache : (string, outcome) Hashtbl.t = Hashtbl.create 64
+let cache : (string, outcome) Exec.Memo.t = Exec.Memo.create ~size_hint:64 ()
 
-let clear_cache () = Hashtbl.reset cache
+let clear_cache () = Exec.Memo.clear cache
 
 let cache_key ~cfg ~eval_instrs ~train_instrs ~name variant =
-  (* Every component is plain data, so a structural digest is a sound key. *)
-  Digest.string (Marshal.to_string (cfg, eval_instrs, train_instrs, name, variant) [])
+  (* Every component must be plain data (no closures, no custom blocks) so
+     that the structural digest is a sound key; see the invariant in
+     runner.mli.  Marshal rejects functional values — turn that into a
+     loud, actionable error instead of a cryptic [Invalid_argument]. *)
+  match Marshal.to_string (cfg, eval_instrs, train_instrs, name, variant) [] with
+  | repr -> Digest.string repr
+  | exception Invalid_argument _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Runner.cache_key: variant for workload %S contains a closure or \
+          other unmarshalable value; Runner.variant payloads must be plain \
+          data (records of scalars/lists) so results can be memoised and \
+          shared across domains"
+         name)
 
 let run_variant ~cfg ~eval_instrs ~train_instrs ~name variant =
   let eval_workload = Catalog.make ~input:Workload.Ref ~instrs:eval_instrs name in
@@ -48,12 +60,8 @@ let run_variant ~cfg ~eval_instrs ~train_instrs ~name variant =
 let evaluate ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
     ?(train_instrs = 150_000) ~name variant =
   let key = cache_key ~cfg ~eval_instrs ~train_instrs ~name variant in
-  match Hashtbl.find_opt cache key with
-  | Some outcome -> outcome
-  | None ->
-    let outcome = run_variant ~cfg ~eval_instrs ~train_instrs ~name variant in
-    Hashtbl.add cache key outcome;
-    outcome
+  Exec.Memo.find_or_run cache key (fun () ->
+      run_variant ~cfg ~eval_instrs ~train_instrs ~name variant)
 
 let speedup_over_ooo ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
     ?(train_instrs = 150_000) ~name variant =

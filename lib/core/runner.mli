@@ -1,8 +1,21 @@
 (** Experiment runner: builds workloads, runs the FDO flow on the train
     input, evaluates on the ref input, and memoises results so figures
-    sharing a baseline simulate it once. *)
+    sharing a baseline simulate it once.
 
-(** What runs on the core. *)
+    The memo table is an {!Exec.Memo}: it is safe to call {!evaluate} from
+    several domains at once (the parallel experiment suite does), and
+    concurrent requests for the same (name, sizes, config, variant) cell
+    deduplicate in flight — the simulation runs exactly once and every
+    caller receives the same outcome. *)
+
+(** What runs on the core.
+
+    {b Plain-data invariant}: every payload reachable from a [variant]
+    (and from the [Cpu_config.t] passed to {!evaluate}) must be plain
+    structural data — records, tuples, lists, scalars.  No closures,
+    objects, or custom blocks: the memo key is a [Marshal]-based digest of
+    the whole tuple, and {!evaluate} raises a descriptive
+    [Invalid_argument] if a payload cannot be marshalled. *)
 type variant =
   | Ooo  (** untagged baseline *)
   | Crisp of Classifier.thresholds * Tagger.options
@@ -35,3 +48,4 @@ val speedup_over_ooo :
 (** IPC of the variant over the OOO baseline IPC, as a ratio (1.0 = equal). *)
 
 val clear_cache : unit -> unit
+(** Drop completed memo entries (in-flight simulations still publish). *)

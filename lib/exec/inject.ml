@@ -1,0 +1,55 @@
+type 'a t = {
+  queue : 'a Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create () =
+  { queue = Queue.create ();
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false }
+
+let push t v =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    false
+  end
+  else begin
+    Queue.push v t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex;
+    true
+  end
+
+let pop_opt t =
+  Mutex.lock t.mutex;
+  let v = Queue.take_opt t.queue in
+  Mutex.unlock t.mutex;
+  v
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let is_closed t =
+  Mutex.lock t.mutex;
+  let c = t.closed in
+  Mutex.unlock t.mutex;
+  c
+
+let park t ~should_wake =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && (not t.closed) && not (should_wake ()) do
+    Condition.wait t.nonempty t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let wake_all t =
+  Mutex.lock t.mutex;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex

@@ -1,0 +1,29 @@
+(** Shared injection queue: the path by which jobs submitted from outside
+    the pool (or overflowing a full worker deque) reach the workers.
+    A plain [Queue.t] under a mutex, with a condition variable that doubles
+    as the pool's idle-worker parking lot. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> bool
+(** Enqueue and wake one parked worker.  [false] if the queue was already
+    closed (the element is dropped). *)
+
+val pop_opt : 'a t -> 'a option
+(** Non-blocking dequeue. *)
+
+val close : 'a t -> unit
+(** Reject further pushes and wake every parked worker. *)
+
+val is_closed : 'a t -> bool
+
+val park : 'a t -> should_wake:(unit -> bool) -> unit
+(** Block the calling worker on the condition variable until [should_wake
+    ()] becomes true, an element is pushed, or the queue is closed.
+    [should_wake] is evaluated under the queue mutex, closing the lost
+    wake-up window between a worker's last empty scan and its sleep. *)
+
+val wake_all : 'a t -> unit
+(** Wake every parked worker (used when local work is produced). *)

@@ -1,0 +1,72 @@
+type 'v entry =
+  | Ready of 'v
+  | In_flight of 'v Future.t
+
+type ('k, 'v) t = {
+  mutex : Mutex.t;
+  table : ('k, 'v entry) Hashtbl.t;
+}
+
+let create ?(size_hint = 64) () =
+  { mutex = Mutex.create (); table = Hashtbl.create size_hint }
+
+let find_or_run t key f =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table key with
+  | Some (Ready v) ->
+    Mutex.unlock t.mutex;
+    v
+  | Some (In_flight fut) ->
+    Mutex.unlock t.mutex;
+    Future.await fut
+  | None -> (
+    let fut = Future.create () in
+    Hashtbl.replace t.table key (In_flight fut);
+    Mutex.unlock t.mutex;
+    match f () with
+    | v ->
+      Mutex.lock t.mutex;
+      Hashtbl.replace t.table key (Ready v);
+      Mutex.unlock t.mutex;
+      Future.fulfill fut v;
+      v
+    | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      Mutex.lock t.mutex;
+      Hashtbl.remove t.table key;
+      Mutex.unlock t.mutex;
+      Future.fail fut exn bt;
+      Printexc.raise_with_backtrace exn bt)
+
+let find_opt t key =
+  Mutex.lock t.mutex;
+  let r =
+    match Hashtbl.find_opt t.table key with
+    | Some (Ready v) -> Some v
+    | Some (In_flight _) | None -> None
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let clear t =
+  Mutex.lock t.mutex;
+  (* Keep in-flight entries: their computations will still publish, and
+     dropping them would let a concurrent duplicate start. *)
+  let in_flight =
+    Hashtbl.fold
+      (fun k e acc -> match e with In_flight _ -> (k, e) :: acc | Ready _ -> acc)
+      t.table []
+  in
+  Hashtbl.reset t.table;
+  List.iter (fun (k, e) -> Hashtbl.replace t.table k e) in_flight;
+  Mutex.unlock t.mutex
+
+let length t =
+  Mutex.lock t.mutex;
+  let n =
+    Hashtbl.fold
+      (fun _ e acc -> match e with Ready _ -> acc + 1 | In_flight _ -> acc)
+      t.table 0
+  in
+  Mutex.unlock t.mutex;
+  n

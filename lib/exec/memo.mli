@@ -1,0 +1,29 @@
+(** Thread-safe memo table with in-flight deduplication.
+
+    When several domains concurrently request the same key — e.g. every
+    figure cell of one application asking for the same OOO baseline — the
+    first caller computes it inline and the others block on a shared
+    future, so the computation runs exactly once.
+
+    A computation that raises resolves its waiters with the same exception
+    and is forgotten (a later request will retry), so a transient failure
+    does not poison the table. *)
+
+type ('k, 'v) t
+
+val create : ?size_hint:int -> unit -> ('k, 'v) t
+
+val find_or_run : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** Return the cached value for the key, await the in-flight computation
+    for it, or compute it on the calling domain and publish the result. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Completed entries only; never blocks on an in-flight computation. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop completed entries.  In-flight computations are left to finish and
+    publish; they were keyed before the clear and will be recomputed on
+    the next request only if they raise. *)
+
+val length : ('k, 'v) t -> int
+(** Completed entries. *)

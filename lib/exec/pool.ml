@@ -1,0 +1,177 @@
+type job = unit -> unit
+
+type pooled = {
+  deques : job Ws_queue.t array;
+  ids : Domain.id option Atomic.t array;  (* worker i's domain id, set at startup *)
+  inject : job Inject.t;
+  pending : int Atomic.t;  (* jobs enqueued anywhere but not yet started *)
+  mutable domains : unit Domain.t array;
+}
+
+type t =
+  | Sequential
+  | Pooled of pooled
+
+let sequential = Sequential
+
+let worker_index p =
+  let self = Domain.self () in
+  let n = Array.length p.ids in
+  let rec scan i =
+    if i >= n then None
+    else
+      match Atomic.get p.ids.(i) with
+      | Some id when id = self -> Some i
+      | _ -> scan (i + 1)
+  in
+  scan 0
+
+(* Acquire one runnable job: own deque, then steal a batch from a sibling,
+   then the injection queue.  Decrements [pending] exactly when a job is
+   handed out. *)
+let find_job p i =
+  let acquired job =
+    Atomic.decr p.pending;
+    Some job
+  in
+  match Ws_queue.pop p.deques.(i) with
+  | Some job -> acquired job
+  | None ->
+    let n = Array.length p.deques in
+    let rec try_steal off =
+      if off >= n then None
+      else
+        let victim = (i + off) mod n in
+        if Ws_queue.steal ~from:p.deques.(victim) ~into:p.deques.(i) > 0 then
+          Ws_queue.pop p.deques.(i)
+        else try_steal (off + 1)
+    in
+    (match try_steal 1 with
+    | Some job -> acquired job
+    | None -> (
+      match Inject.pop_opt p.inject with
+      | Some job -> acquired job
+      | None -> None))
+
+let spin_budget = 256
+
+let worker_loop p i =
+  Atomic.set p.ids.(i) (Some (Domain.self ()));
+  let rec loop spins =
+    match find_job p i with
+    | Some job ->
+      job ();
+      loop 0
+    | None ->
+      if Inject.is_closed p.inject && Atomic.get p.pending = 0 then ()
+      else if spins < spin_budget then begin
+        Domain.cpu_relax ();
+        loop (spins + 1)
+      end
+      else begin
+        Inject.park p.inject ~should_wake:(fun () -> Atomic.get p.pending > 0);
+        loop 0
+      end
+  in
+  loop 0
+
+let create ?(workers = Domain.recommended_domain_count ()) () =
+  if workers <= 0 then Sequential
+  else begin
+    let p =
+      { deques = Array.init workers (fun _ -> Ws_queue.create ());
+        ids = Array.init workers (fun _ -> Atomic.make None);
+        inject = Inject.create ();
+        pending = Atomic.make 0;
+        domains = [||] }
+    in
+    p.domains <- Array.init workers (fun i -> Domain.spawn (fun () -> worker_loop p i));
+    Pooled p
+  end
+
+let parallelism = function
+  | Sequential -> 1
+  | Pooled p -> Array.length p.deques
+
+let enqueue p job =
+  (* [pending] rises before the job is visible so that scanning workers
+     never conclude the pool is idle while an enqueue is in flight. *)
+  Atomic.incr p.pending;
+  let queued =
+    match worker_index p with
+    | Some i when Ws_queue.push p.deques.(i) job ->
+      (* Local push bypasses the injection queue; parked siblings must
+         still learn there is something to steal. *)
+      Inject.wake_all p.inject;
+      true
+    | _ -> Inject.push p.inject job
+  in
+  if not queued then begin
+    Atomic.decr p.pending;
+    invalid_arg "Exec.Pool.submit: pool is shut down"
+  end
+
+let submit t f =
+  match t with
+  | Sequential -> (
+    match f () with
+    | v -> Future.of_value v
+    | exception exn ->
+      let fut = Future.create () in
+      Future.fail fut exn (Printexc.get_raw_backtrace ());
+      fut)
+  | Pooled p ->
+    let fut = Future.create () in
+    let job () =
+      match f () with
+      | v -> Future.fulfill fut v
+      | exception exn -> Future.fail fut exn (Printexc.get_raw_backtrace ())
+    in
+    enqueue p job;
+    fut
+
+let await t fut =
+  match t with
+  | Sequential -> Future.await fut
+  | Pooled p -> (
+    match worker_index p with
+    | None -> Future.await fut
+    | Some i ->
+      (* Help-first: run queued jobs while the future is pending, so a
+         worker awaiting its own sub-jobs makes progress instead of
+         deadlocking the pool. *)
+      Future.on_resolve fut (fun _ -> Inject.wake_all p.inject);
+      let rec help spins =
+        if Future.is_resolved fut then Future.await fut
+        else
+          match find_job p i with
+          | Some job ->
+            job ();
+            help 0
+          | None ->
+            if spins < spin_budget then begin
+              Domain.cpu_relax ();
+              help (spins + 1)
+            end
+            else begin
+              Inject.park p.inject ~should_wake:(fun () ->
+                  Future.is_resolved fut || Atomic.get p.pending > 0);
+              help 0
+            end
+      in
+      help 0)
+
+let map_list t f xs =
+  match t with
+  | Sequential -> List.map f xs
+  | Pooled _ ->
+    let futures = List.map (fun x -> submit t (fun () -> f x)) xs in
+    List.map (await t) futures
+
+let shutdown = function
+  | Sequential -> ()
+  | Pooled p ->
+    if not (Inject.is_closed p.inject) then begin
+      Inject.close p.inject;
+      Array.iter Domain.join p.domains
+    end

@@ -1,0 +1,45 @@
+(** Fixed pool of OCaml 5 domains with per-worker work-stealing deques and
+    a shared injection queue.
+
+    Jobs submitted from outside the pool enter the injection queue; jobs
+    submitted by a worker (nested submission) go to that worker's own
+    deque and overflow to the injection queue when full.  Idle workers
+    first drain their own deque, then steal batches from siblings, then
+    take from the injection queue, and finally park on a condition
+    variable.
+
+    {!await} is help-first: a worker awaiting a future executes queued
+    jobs while it waits, so nested fork/join job graphs cannot deadlock
+    the pool even with a single worker. *)
+
+type t
+
+val sequential : t
+(** The [--jobs 1] escape hatch: no domains, no queues — {!submit} runs
+    the thunk inline on the calling domain and returns a resolved future,
+    giving exactly the sequential execution order. *)
+
+val create : ?workers:int -> unit -> t
+(** Spawn [workers] worker domains (default
+    [Domain.recommended_domain_count ()]).  [workers <= 0] returns
+    {!sequential}. *)
+
+val parallelism : t -> int
+(** Number of worker domains; 1 for {!sequential}. *)
+
+val submit : t -> (unit -> 'a) -> 'a Future.t
+(** Schedule a job.  An exception raised by the thunk resolves the future
+    with the failure and re-raises at {!await}.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val await : t -> 'a Future.t -> 'a
+(** Like {!Future.await}, but when called from a worker domain it runs
+    queued jobs while waiting instead of blocking the domain. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Submit one job per element and await them all; results keep the input
+    order.  On {!sequential} this is exactly [List.map]. *)
+
+val shutdown : t -> unit
+(** Drain remaining jobs, stop and join every worker domain.  Idempotent.
+    Submitting after shutdown raises. *)

@@ -1,0 +1,87 @@
+(* SPMC ring buffer.  Invariants:
+   - [tail] is written only by the owner; a cell is published (set to
+     [Some v]) before [tail] is advanced past it, so any consumer that
+     observes [index < tail] can read the value.
+   - consumers (owner pop and thieves) claim indices by CAS on [head];
+     winning the CAS gives exclusive ownership of the claimed range.
+   - a consumer clears its cell to [None] after reading; [push] spins
+     briefly if the wrapped-around cell has been claimed but not yet
+     cleared (a short window). *)
+
+type 'a t = {
+  head : int Atomic.t;
+  tail : int Atomic.t;  (* owner-only writes *)
+  mask : int;
+  cells : 'a option Atomic.t array;
+}
+
+let create ?(capacity_exponent = 13) () =
+  let size = 1 lsl capacity_exponent in
+  { head = Atomic.make 0;
+    tail = Atomic.make 0;
+    mask = size - 1;
+    cells = Array.init size (fun _ -> Atomic.make None) }
+
+let size t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+
+let push t v =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    let cell = t.cells.(tail land t.mask) in
+    while Option.is_some (Atomic.get cell) do
+      Domain.cpu_relax ()
+    done;
+    Atomic.set cell (Some v);
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+(* After winning the CAS on [head] the value is guaranteed published
+   (the claimer observed [index < tail]); the spin is defensive. *)
+let take_cell t index =
+  let cell = t.cells.(index land t.mask) in
+  let rec take () =
+    match Atomic.get cell with
+    | Some v ->
+      Atomic.set cell None;
+      v
+    | None ->
+      Domain.cpu_relax ();
+      take ()
+  in
+  take ()
+
+let rec pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail - head <= 0 then None
+  else if Atomic.compare_and_set t.head head (head + 1) then
+    Some (take_cell t head)
+  else pop t
+
+let steal ~from ~into =
+  let head = Atomic.get from.head in
+  let tail = Atomic.get from.tail in
+  let available = tail - head in
+  if available <= 0 then 0
+  else begin
+    (* Steal even when a single element is visible, hence the +1. *)
+    let free_into = into.mask + 1 - size into in
+    let want = min ((available + 1) / 2) free_into in
+    if want <= 0 then 0
+    else if not (Atomic.compare_and_set from.head head (head + want)) then 0
+    else begin
+      for i = 0 to want - 1 do
+        let v = take_cell from (head + i) in
+        (* [into] is owned by the caller and had room when measured; if a
+           concurrent owner push filled it meanwhile, spin until pops make
+           room (cannot deadlock: the owner is this domain). *)
+        while not (push into v) do
+          Domain.cpu_relax ()
+        done
+      done;
+      want
+    end
+  end

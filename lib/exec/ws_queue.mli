@@ -1,0 +1,31 @@
+(** Per-worker work-stealing queue (single producer, multiple consumers).
+
+    Adapted from the SPMC ring used by ebsl-style schedulers: the owning
+    worker enqueues at the tail and dequeues from the head; thief workers
+    also consume from the head, claiming a batch of up to half the visible
+    elements with one CAS and moving it into their own queue.  Consumption
+    order is FIFO, which keeps grid jobs flowing roughly in submission
+    order (long-pole jobs submitted first stay first).
+
+    Only the owner may call {!push} and {!pop}; any domain may call
+    {!steal} with itself as the destination owner. *)
+
+type 'a t
+
+val create : ?capacity_exponent:int -> unit -> 'a t
+(** Ring of [2^capacity_exponent] slots (default [2^13]). *)
+
+val push : 'a t -> 'a -> bool
+(** Owner-only.  [false] when the ring is full (caller should overflow to
+    the shared injection queue). *)
+
+val pop : 'a t -> 'a option
+(** Owner-only dequeue from the head. *)
+
+val steal : from:'a t -> into:'a t -> int
+(** Claim up to half of [from]'s elements and push them into [into]
+    (whose owner must be the calling domain).  Returns the number moved,
+    0 when [from] was empty or the claim raced with another consumer. *)
+
+val size : 'a t -> int
+(** Indicative size (racy; an instantaneous lower-bound estimate). *)
