@@ -146,6 +146,36 @@ let slices workload instrs threshold =
         (if s.Tagger.dropped then "  [dropped]" else ""))
     t.Tagger.slices
 
+let all_arg =
+  let doc = "Check every workload in the catalog." in
+  Arg.(value & flag & info [ "a"; "all" ] ~doc)
+
+let scoreboard_arg =
+  let doc =
+    "Also run the timing simulation twice per scheduler policy (pipeline \
+     scoreboard off, then on) and require no invariant violation and \
+     bit-identical statistics."
+  in
+  Arg.(value & flag & info [ "scoreboard" ] ~doc)
+
+let check all workload instrs train_instrs with_scoreboard =
+  let reports =
+    if all then
+      Check_runner.check_all ~instrs ~train_instrs ~scoreboard:with_scoreboard ()
+    else
+      [ Check_runner.check_workload ~instrs ~train_instrs
+          ~scoreboard:with_scoreboard workload ]
+  in
+  List.iter (fun r -> Format.printf "@[<v>%a@]@." Check_runner.pp_report r) reports;
+  let failed = List.filter (fun r -> not (Check_runner.ok r)) reports in
+  if failed = [] then
+    Printf.printf "check: %d workload(s) clean\n" (List.length reports)
+  else begin
+    Printf.printf "check: %d of %d workload(s) FAILED\n" (List.length failed)
+      (List.length reports);
+    exit 1
+  end
+
 let list_workloads () =
   List.iter
     (fun name ->
@@ -222,6 +252,27 @@ let experiments_cmd =
   let info = Cmd.info "experiments" ~doc:"Regenerate paper tables and figures." in
   Cmd.v info Term.(const experiments $ figures_arg $ instrs_arg $ train_arg $ jobs_arg)
 
+let check_instrs_arg =
+  let doc = "Dynamic micro-ops for the ref-input lint/scoreboard context." in
+  Arg.(value & opt int 60_000 & info [ "n"; "instrs" ] ~docv:"N" ~doc)
+
+let check_train_arg =
+  let doc = "Dynamic micro-ops traced on the train input for slice checks." in
+  Arg.(value & opt int 40_000 & info [ "train-instrs" ] ~docv:"N" ~doc)
+
+let check_cmd =
+  let info =
+    Cmd.info "check"
+      ~doc:
+        "Run the static validation battery: program lint, independent slice \
+         and tag-budget verification, and (with $(b,--scoreboard)) the \
+         pipeline-invariant oracle."
+  in
+  Cmd.v info
+    Term.(
+      const check $ all_arg $ workload_arg $ check_instrs_arg $ check_train_arg
+      $ scoreboard_arg)
+
 let list_cmd =
   let info = Cmd.info "list" ~doc:"List the workload catalog." in
   Cmd.v info Term.(const list_workloads $ const ())
@@ -231,4 +282,8 @@ let () =
     Cmd.info "crisp_sim" ~version:"1.0.0"
       ~doc:"CRISP critical-slice prefetching: simulator and analysis tools"
   in
-  exit (Cmd.eval (Cmd.group info [ simulate_cmd; profile_cmd; slices_cmd; experiments_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ simulate_cmd; profile_cmd; slices_cmd; experiments_cmd; check_cmd;
+            list_cmd ]))

@@ -1,0 +1,61 @@
+(** Drives the whole validation battery over catalog workloads.
+
+    For one workload the runner:
+
+    + lints the [Ref] program with {!Lint.check_workload};
+    + rebuilds the software-FDO front half on the [Train] input — trace,
+      dependencies, profile, classification — extracts a slice for every
+      delinquent load and hard branch ({e both} with and without
+      dependencies through memory, covering the IBDA ablation) and verifies
+      each against {!Slice_check.verify_slice};
+    + builds the criticality tag map and verifies it against
+      {!Slice_check.verify_tagging};
+    + optionally runs the timing simulation twice per scheduler policy —
+      pipeline scoreboard off, then on — requiring no {!Scoreboard.Violation}
+      and bit-identical {!Cpu_stats.t}.
+
+    The runner deliberately composes {!Profiler} → {!Classifier} →
+    {!Slicer} → {!Tagger} directly rather than through the [Fdo] facade:
+    the check layer sits {e below} the umbrella library so the umbrella
+    (and its tests) can depend on it. *)
+
+type slice_report = {
+  root_pc : int;
+  kind : [ `Load | `Branch ];
+  follow_memory : bool;
+  violations : Slice_check.violation list;
+}
+
+type scoreboard_report = {
+  policy_name : string;
+  violation : string option;  (** {!Scoreboard.Violation} payload, if raised *)
+  stats_match : bool;  (** statistics identical with the scoreboard on and off *)
+}
+
+type report = {
+  workload : string;
+  lint : Lint.diag list;
+  roots : int;  (** delinquent loads + hard branches whose slices were verified *)
+  slices : slice_report list;
+  tagging : Slice_check.violation list;
+  scoreboard : scoreboard_report list;  (** empty unless requested *)
+}
+
+val check_workload :
+  ?instrs:int -> ?train_instrs:int -> ?scoreboard:bool -> string -> report
+(** [instrs] bounds the [Ref] trace used for lint context and the
+    scoreboard runs (default 60k); [train_instrs] bounds the [Train] trace
+    the slices are extracted from (default 40k).  [scoreboard] (default
+    [false]) enables the timing-simulation comparison.
+    @raise Not_found for a name outside {!Catalog.names}. *)
+
+val check_all :
+  ?instrs:int -> ?train_instrs:int -> ?scoreboard:bool -> unit -> report list
+(** {!check_workload} over the whole catalog, in catalog order. *)
+
+val ok : report -> bool
+(** No lint diagnostics of any severity, no slice or tagging violations,
+    and every scoreboard comparison clean. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One summary line, then one line per diagnostic/violation. *)

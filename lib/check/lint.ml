@@ -1,0 +1,395 @@
+type severity =
+  | Error
+  | Warning
+
+type rule =
+  | Bad_target
+  | Target_exits
+  | Undefined_use
+  | Self_dependency
+  | Unreachable
+  | Negative_address
+  | Oob_address
+  | Degenerate_branch
+  | Bad_register
+
+type diag = {
+  pc : int;
+  severity : severity;
+  rule : rule;
+  message : string;
+}
+
+let rule_name = function
+  | Bad_target -> "bad-target"
+  | Target_exits -> "target-exits"
+  | Undefined_use -> "undefined-register-use"
+  | Self_dependency -> "self-dependency"
+  | Unreachable -> "unreachable-code"
+  | Negative_address -> "negative-address"
+  | Oob_address -> "out-of-bounds-address"
+  | Degenerate_branch -> "degenerate-branch"
+  | Bad_register -> "bad-register"
+
+let pp_diag fmt d =
+  Format.fprintf fmt "%s at pc %d [%s]: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.pc (rule_name d.rule) d.message
+
+type image_bounds = {
+  lo : int;
+  hi : int;
+}
+
+(* Initialised words are 8 bytes wide; one cache line of slack on either
+   side keeps intra-structure padding (Mem_builder line-aligns every
+   allocation) from producing noise. *)
+let word_bytes = 8
+
+let slack_bytes = 64
+
+let bounds_of_image image =
+  if Hashtbl.length image = 0 then None
+  else begin
+    let lo = ref max_int and hi = ref min_int in
+    Hashtbl.iter
+      (fun addr _ ->
+        if addr < !lo then lo := addr;
+        if addr + word_bytes > !hi then hi := addr + word_bytes)
+      image;
+    Some { lo = !lo; hi = !hi }
+  end
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+(* ------------------------------------------------------------------ *)
+(* CFG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Static successors inside [0, n); [n] (falling off or branching to the
+   end) terminates execution and is not a node.  A call is assumed to
+   return, so its fall-through is a successor; a return's successors are
+   the fall-throughs of the calls that reach it. *)
+let successors code pc =
+  let n = Array.length code in
+  let d : Program.decoded = code.(pc) in
+  let next = pc + 1 in
+  let inside p = p >= 0 && p < n in
+  let targets =
+    match d.Program.op with
+    | Isa.Halt | Isa.Ret -> []
+    | Isa.Jump | Isa.Call -> [ d.Program.target ]
+    | Isa.Branch _ -> [ next; d.Program.target ]
+    | _ -> [ next ]
+  in
+  let targets = match d.Program.op with Isa.Call -> next :: targets | _ -> targets in
+  List.filter inside targets
+
+let reachable_set (code : Program.decoded array) =
+  let n = Array.length code in
+  let seen = Array.make n false in
+  let rec visit pc =
+    if not seen.(pc) then begin
+      seen.(pc) <- true;
+      List.iter visit (successors code pc)
+    end
+  in
+  if n > 0 then visit 0;
+  seen
+
+(* ------------------------------------------------------------------ *)
+(* Definite assignment (may-be-undefined uses)                         *)
+(* ------------------------------------------------------------------ *)
+
+let used_regs (d : Program.decoded) =
+  let acc = if d.Program.src1 >= 0 then [ d.Program.src1 ] else [] in
+  if d.Program.src2 >= 0 && d.Program.src2 <> d.Program.src1 then d.Program.src2 :: acc
+  else acc
+
+(* Forward dataflow; IN(pc) = registers defined on every path from entry.
+   Meet is intersection, so the fixpoint starts from all-defined and
+   shrinks. *)
+let definite_assignment code ~reachable ~initialised =
+  let n = Array.length code in
+  let nr = Isa.num_regs in
+  let inn = Array.init n (fun _ -> Array.make nr true) in
+  if n > 0 then begin
+    let entry = Array.make nr false in
+    List.iter (fun r -> entry.(r) <- true) initialised;
+    inn.(0) <- entry;
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    let on_queue = Array.make n false in
+    on_queue.(0) <- true;
+    while not (Queue.is_empty queue) do
+      let pc = Queue.pop queue in
+      on_queue.(pc) <- false;
+      let out = Array.copy inn.(pc) in
+      let dst = code.(pc).Program.dst in
+      if dst >= 0 && dst < nr then out.(dst) <- true;
+      List.iter
+        (fun succ ->
+          let changed = ref false in
+          let target = inn.(succ) in
+          for r = 0 to nr - 1 do
+            if target.(r) && not out.(r) then begin
+              target.(r) <- false;
+              changed := true
+            end
+          done;
+          if !changed && not on_queue.(succ) then begin
+            on_queue.(succ) <- true;
+            Queue.add succ queue
+          end)
+        (successors code pc)
+    done
+  end;
+  ignore reachable;
+  inn
+
+(* ------------------------------------------------------------------ *)
+(* Constant propagation (for the footprint rules)                      *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Const of int
+  | Unknown
+
+let meet a b =
+  match (a, b) with
+  | Const x, Const y when x = y -> a
+  | _ -> Unknown
+
+(* Mirror of Executor's ALU semantics so statically-known addresses are
+   exactly the ones the executor would compute. *)
+let alu_eval kind a b =
+  match kind with
+  | Isa.Add -> a + b
+  | Isa.Sub -> a - b
+  | Isa.And -> a land b
+  | Isa.Or -> a lor b
+  | Isa.Xor -> a lxor b
+  | Isa.Shl -> a lsl (b land 63)
+  | Isa.Shr -> a lsr (b land 63)
+  | Isa.Cmp -> compare a b
+  | Isa.Mov -> a
+
+let transfer (d : Program.decoded) (env : value array) =
+  let out = Array.copy env in
+  let v r = if r >= 0 && r < Isa.num_regs then env.(r) else Unknown in
+  let operand2 = if d.Program.src2 >= 0 then v d.Program.src2 else Const d.Program.imm in
+  let binop f =
+    match (v d.Program.src1, operand2) with
+    | Const a, Const b -> Const (f a b)
+    | _ -> Unknown
+  in
+  let result =
+    match d.Program.op with
+    | Isa.Li -> Some (Const d.Program.imm)
+    | Isa.Alu kind -> Some (binop (alu_eval kind))
+    | Isa.Mul | Isa.Fp_mul -> Some (binop ( * ))
+    | Isa.Div | Isa.Fp_div -> Some (binop (fun a b -> if b = 0 then 0 else a / b))
+    | Isa.Fp_add -> Some (binop ( + ))
+    | Isa.Load -> Some Unknown
+    | _ -> None
+  in
+  (match result with
+  | Some value when d.Program.dst >= 0 && d.Program.dst < Isa.num_regs ->
+    out.(d.Program.dst) <- value
+  | _ -> ());
+  out
+
+let constant_propagation code ~entry_env =
+  let n = Array.length code in
+  let inn : value array option array = Array.make n None in
+  if n > 0 then begin
+    inn.(0) <- Some entry_env;
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    let on_queue = Array.make n false in
+    on_queue.(0) <- true;
+    while not (Queue.is_empty queue) do
+      let pc = Queue.pop queue in
+      on_queue.(pc) <- false;
+      match inn.(pc) with
+      | None -> ()
+      | Some env ->
+        let out = transfer code.(pc) env in
+        List.iter
+          (fun succ ->
+            let merged, changed =
+              match inn.(succ) with
+              | None -> (Array.copy out, true)
+              | Some cur ->
+                let changed = ref false in
+                for r = 0 to Isa.num_regs - 1 do
+                  let m = meet cur.(r) out.(r) in
+                  if m <> cur.(r) then begin
+                    cur.(r) <- m;
+                    changed := true
+                  end
+                done;
+                (cur, !changed)
+            in
+            if changed then begin
+              inn.(succ) <- Some merged;
+              if not on_queue.(succ) then begin
+                on_queue.(succ) <- true;
+                Queue.add succ queue
+              end
+            end)
+          (successors code pc)
+    done
+  end;
+  inn
+
+(* ------------------------------------------------------------------ *)
+(* The lint driver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let severity_rank = function Error -> 0 | Warning -> 1
+
+let sort_diags ds =
+  List.sort
+    (fun a b ->
+      let c = compare a.pc b.pc in
+      if c <> 0 then c
+      else
+        let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+        if c <> 0 then c else compare (rule_name a.rule) (rule_name b.rule))
+    ds
+
+let check ?(initialised = []) ?bounds ?entry_values (prog : Program.t) =
+  let code = prog.Program.code in
+  let n = Array.length code in
+  let diags = ref [] in
+  let emit pc severity rule fmt =
+    Format.kasprintf (fun message -> diags := { pc; severity; rule; message } :: !diags)
+      fmt
+  in
+  let reg_ok r = r = -1 || (r >= 0 && r < Isa.num_regs) in
+  Array.iteri
+    (fun pc (d : Program.decoded) ->
+      List.iter
+        (fun (field, r) ->
+          if not (reg_ok r) then
+            emit pc Error Bad_register "%s register %d outside the %d-register file"
+              field r Isa.num_regs)
+        [ ("destination", d.Program.dst); ("source-1", d.Program.src1);
+          ("source-2", d.Program.src2) ];
+      match d.Program.op with
+      | Isa.Branch _ | Isa.Jump | Isa.Call ->
+        let t = d.Program.target in
+        if t < 0 || t > n then
+          emit pc Error Bad_target "control transfer to pc %d outside [0, %d]" t n
+        else if t = n then
+          emit pc Warning Target_exits
+            "control transfer to pc %d (= code length) ends execution" t
+        else if
+          (match d.Program.op with Isa.Branch _ -> true | _ -> false) && t = pc + 1
+        then
+          emit pc Warning Degenerate_branch
+            "conditional branch to its own fall-through (pc %d)" t
+      | _ -> ())
+    code;
+  let reachable = reachable_set code in
+  Array.iteri
+    (fun pc r ->
+      if not r then
+        emit pc Warning Unreachable "unreachable from the entry point")
+    reachable;
+  (* Register dataflow on the reachable portion only: diagnostics about
+     dead code would be double reports. *)
+  let defined = definite_assignment code ~reachable ~initialised in
+  let init_set = Array.make Isa.num_regs false in
+  List.iter (fun r -> if r >= 0 && r < Isa.num_regs then init_set.(r) <- true)
+    initialised;
+  let producers = Array.make Isa.num_regs [] in
+  Array.iteri
+    (fun pc (d : Program.decoded) ->
+      let dst = d.Program.dst in
+      if reachable.(pc) && dst >= 0 && dst < Isa.num_regs then
+        producers.(dst) <- pc :: producers.(dst))
+    code;
+  Array.iteri
+    (fun pc (d : Program.decoded) ->
+      if reachable.(pc) then
+        List.iter
+          (fun r ->
+            if r < Isa.num_regs && not defined.(pc).(r) then
+              if
+                (not init_set.(r))
+                && d.Program.dst = r
+                && List.for_all (fun p -> p = pc) producers.(r)
+              then
+                emit pc Error Self_dependency
+                  "r%d is read only by the single instruction that defines it and \
+                   has no declared initial value — a self-carried register must \
+                   start from an explicit reg_init entry"
+                  r
+              else
+                emit pc Warning Undefined_use
+                  "r%d may be read before any definition (relies on the implicit \
+                   zero; declare it in reg_init)"
+                  r)
+          (used_regs d))
+    code;
+  (* Footprint rules on statically-known addresses. *)
+  let entry_env =
+    match entry_values with
+    | Some env -> env
+    | None ->
+      (* Registers start at zero; declared live-ins have unknown values. *)
+      Array.init Isa.num_regs (fun r -> if init_set.(r) then Unknown else Const 0)
+  in
+  let envs = constant_propagation code ~entry_env in
+  Array.iteri
+    (fun pc (d : Program.decoded) ->
+      match envs.(pc) with
+      | None -> ()
+      | Some env ->
+        let base_reg =
+          match d.Program.op with
+          | Isa.Load | Isa.Prefetch -> Some d.Program.src1
+          | Isa.Store -> Some d.Program.src2
+          | _ -> None
+        in
+        (match base_reg with
+        | Some r when r >= 0 && r < Isa.num_regs -> begin
+          match env.(r) with
+          | Const base ->
+            let addr = base + d.Program.imm in
+            if addr < 0 then
+              emit pc Error Negative_address "effective address %d is negative" addr
+            else begin
+              (* Only reads are checked against the image: a load (or
+                 prefetch) of never-written memory silently yields zero,
+                 which is almost certainly a mis-computed address, whereas a
+                 store past the image is how output buffers are born. *)
+              match bounds, d.Program.op with
+              | Some { lo; hi }, (Isa.Load | Isa.Prefetch)
+                when addr < lo - slack_bytes || addr >= hi + slack_bytes ->
+                emit pc Warning Oob_address
+                  "constant load address 0x%x outside the initialised image \
+                   [0x%x, 0x%x)"
+                  addr lo hi
+              | _ -> ()
+            end
+          | Unknown -> ()
+        end
+        | _ -> ()))
+    code;
+  sort_diags !diags
+
+let check_program ?initialised ?bounds prog = check ?initialised ?bounds prog
+
+let check_workload (w : Workload.t) =
+  let initialised = List.map fst w.Workload.reg_init in
+  let entry_env = Array.make Isa.num_regs (Const 0) in
+  List.iter
+    (fun (r, v) -> if r >= 0 && r < Isa.num_regs then entry_env.(r) <- Const v)
+    w.Workload.reg_init;
+  let bounds = bounds_of_image w.Workload.mem_init in
+  check ~initialised ?bounds ~entry_values:entry_env w.Workload.program

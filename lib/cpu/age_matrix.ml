@@ -30,3 +30,28 @@ let pick_oldest t candidates =
       if !winner = -1 && Bitset.inter_empty t.masks.(s) candidates then winner := s)
     candidates;
   !winner
+
+let older t a b = Bitset.mem t.masks.(b) a
+
+let self_check t =
+  let fail = ref None in
+  let report fmt = Format.kasprintf (fun s -> if !fail = None then fail := Some s) fmt in
+  for a = 0 to t.n - 1 do
+    if occupied t a then begin
+      if Bitset.mem t.masks.(a) a then report "slot %d is older than itself" a;
+      Bitset.iter_set
+        (fun o ->
+          if not (occupied t o) then
+            report "age mask of slot %d names unoccupied slot %d" a o)
+        t.masks.(a);
+      for b = a + 1 to t.n - 1 do
+        if occupied t b then begin
+          let ab = older t a b and ba = older t b a in
+          if ab && ba then report "age order between slots %d and %d is symmetric" a b;
+          if (not ab) && not ba then
+            report "occupied slots %d and %d have no age order" a b
+        end
+      done
+    end
+  done;
+  !fail

@@ -29,3 +29,14 @@ val pick_oldest : t -> Bitset.t -> int
 (** [pick_oldest t candidates] returns the slot of the oldest occupant among
     the candidate set, or [-1] if the set is empty.  All candidates must be
     occupied slots. *)
+
+val older : t -> int -> int -> bool
+(** [older t a b] is [true] when occupied slot [a] is strictly older than
+    occupied slot [b] (i.e. [a]'s bit is set in [b]'s age mask). *)
+
+val self_check : t -> string option
+(** Structural invariants of the matrix, used by the debug scoreboard:
+    age masks are irreflexive (no slot is older than itself), antisymmetric
+    and total over occupied pairs (of two distinct occupied slots exactly
+    one is older), and masks never name unoccupied slots.  Returns a
+    description of the first violated invariant, [None] when sound. *)

@@ -20,6 +20,7 @@ type t = {
   seed : int;
   record_upc : bool;
   max_cycles : int option;
+  scoreboard : bool;
 }
 
 let skylake =
@@ -43,9 +44,12 @@ let skylake =
     mem = Memory_system.skylake;
     seed = 0x51ab;
     record_upc = false;
-    max_cycles = None }
+    max_cycles = None;
+    scoreboard = false }
 
 let with_policy policy t = { t with policy }
+
+let with_scoreboard scoreboard t = { t with scoreboard }
 
 let with_window ~rs ~rob t =
   { t with

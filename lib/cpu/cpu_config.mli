@@ -23,12 +23,18 @@ type t = {
   seed : int;  (** RAND scheduler slot-allocation seed *)
   record_upc : bool;  (** record the per-cycle retirement timeline *)
   max_cycles : int option;  (** safety valve; [None] = 400 * trace length *)
+  scoreboard : bool;
+      (** run the debug-mode pipeline scoreboard ({!Scoreboard}): per-cycle
+          invariant checks on ROB/RS/age-matrix state.  Off by default; the
+          oracle is read-only, so statistics are identical either way. *)
 }
 
 val skylake : t
 (** The baseline configuration of Table 1 with the oldest-ready scheduler. *)
 
 val with_policy : Scheduler.policy -> t -> t
+
+val with_scoreboard : bool -> t -> t
 
 val with_window : rs:int -> rob:int -> t -> t
 (** Scale the out-of-order window for the Section 5.4 study.  The load and

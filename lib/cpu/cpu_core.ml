@@ -67,6 +67,7 @@ type state = {
   mutable mlp_cycles : int;
   mutable critical_retired : int;
   upc_timeline : int Vec.t option;
+  sb : Scoreboard.t option;  (* debug-mode invariant oracle, read-only *)
 }
 
 let fresh_entry () =
@@ -146,6 +147,9 @@ let retire s =
       continue_ := false
     end
     else begin
+      (match s.sb with
+      | Some sb -> Scoreboard.check_retire sb ~cycle:s.cycle ~dyn:e.dyn ~expected:s.retired
+      | None -> ());
       let d = s.dyns.(e.dyn) in
       (match d.Executor.op with
       | Isa.Store ->
@@ -220,6 +224,11 @@ let issue s =
       incr picks;
       let rob_idx = s.rs_owner.(slot) in
       let e = s.rob.(rob_idx) in
+      (match s.sb with
+      | Some sb ->
+        Scoreboard.check_select sb s.sched ~cycle:s.cycle ~slot
+          ~ready:(e.state = st_ready) ~deps_left:e.deps_left
+      | None -> ());
       let d = s.dyns.(e.dyn) in
       let port =
         match Isa.fu_of_op d.Executor.op with
@@ -501,7 +510,8 @@ let run ?(criticality = No_tags) ?layout cfg (trace : Executor.t) =
       mlp_cycles = 0;
       critical_retired = 0;
       upc_timeline =
-        (if cfg.Cpu_config.record_upc then Some (Vec.create ~dummy:0 ()) else None) }
+        (if cfg.Cpu_config.record_upc then Some (Vec.create ~dummy:0 ()) else None);
+      sb = (if cfg.Cpu_config.scoreboard then Some (Scoreboard.create cfg) else None) }
   in
   let max_cycles =
     match cfg.Cpu_config.max_cycles with
@@ -526,6 +536,16 @@ let run ?(criticality = No_tags) ?layout cfg (trace : Executor.t) =
       s.mlp_sum <- s.mlp_sum +. float_of_int outstanding;
       s.mlp_cycles <- s.mlp_cycles + 1
     end;
+    (match s.sb with
+    | Some sb ->
+      (* Entries in [st_waiting] or [st_ready] are exactly those resident
+         in a reservation-station slot. *)
+      let resident = ref 0 in
+      Array.iter
+        (fun e -> if e.state = st_waiting || e.state = st_ready then incr resident)
+        s.rob;
+      Scoreboard.check_cycle sb s.sched ~cycle:s.cycle ~rs_resident:!resident
+    | None -> ());
     s.cycle <- s.cycle + 1
   done;
   let loads = ref 0 and stores = ref 0 in

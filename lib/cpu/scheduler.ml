@@ -95,3 +95,33 @@ let issue t slot =
   t.free_count <- t.free_count + 1
 
 let unready t slot = Bitset.clear t.ready slot
+
+(* ---- scoreboard introspection (read-only) ---- *)
+
+let slots t = Age_matrix.slots t.matrix
+
+let slot_occupied t slot = Age_matrix.occupied t.matrix slot
+
+let slot_ready t slot = Bitset.mem t.ready slot
+
+let slot_critical t slot = Bitset.mem t.critical slot
+
+let slot_selected t slot = Bitset.mem t.selected slot
+
+let slot_older t a b = Age_matrix.older t.matrix a b
+
+let self_check t =
+  match Age_matrix.self_check t.matrix with
+  | Some _ as v -> v
+  | None ->
+    let fail = ref None in
+    let report fmt =
+      Format.kasprintf (fun s -> if !fail = None then fail := Some s) fmt
+    in
+    for s = 0 to slots t - 1 do
+      if not (slot_occupied t s) then begin
+        if slot_ready t s then report "BID bit set on unoccupied slot %d" s;
+        if slot_critical t s then report "PRIO bit set on unoccupied slot %d" s
+      end
+    done;
+    !fail

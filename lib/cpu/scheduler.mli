@@ -55,3 +55,31 @@ val unready : t -> int -> unit
     retry); it keeps its age and RS slot. *)
 
 val occupancy : t -> int
+
+(** {2 Scoreboard introspection}
+
+    Read-only views of the BID/PRIO/age state for the debug-mode pipeline
+    scoreboard ({!Scoreboard}).  None of these mutate the scheduler or
+    advance its PRNG, so enabling the scoreboard cannot perturb timing. *)
+
+val slots : t -> int
+
+val slot_occupied : t -> int -> bool
+
+val slot_ready : t -> int -> bool
+(** The slot's BID bit. *)
+
+val slot_critical : t -> int -> bool
+(** The slot's PRIO (criticality) bit. *)
+
+val slot_selected : t -> int -> bool
+(** Whether the slot was already selected this cycle. *)
+
+val slot_older : t -> int -> int -> bool
+(** [slot_older t a b]: occupied slot [a] is strictly older than occupied
+    slot [b] in the age matrix. *)
+
+val self_check : t -> string option
+(** Structural invariants: age-matrix soundness ({!Age_matrix.self_check})
+    plus BID/PRIO bits only ever set on occupied slots.  Returns the first
+    violation, [None] when sound. *)

@@ -1,0 +1,79 @@
+exception Violation of string
+
+type t = {
+  policy : Scheduler.policy;
+  mutable checks : int;
+}
+
+let create (cfg : Cpu_config.t) = { policy = cfg.Cpu_config.policy; checks = 0 }
+
+let fail fmt = Format.kasprintf (fun s -> raise (Violation s)) fmt
+
+let checks_run t = t.checks
+
+(* Candidates of the selection that just returned [slot]: ready slots not
+   yet selected this cycle, plus [slot] itself (its selected bit was set by
+   the scheduler before we ran). *)
+let iter_candidates sched ~slot f =
+  for s = 0 to Scheduler.slots sched - 1 do
+    if
+      Scheduler.slot_occupied sched s
+      && Scheduler.slot_ready sched s
+      && ((not (Scheduler.slot_selected sched s)) || s = slot)
+    then f s
+  done
+
+let check_select t sched ~cycle ~slot ~ready ~deps_left =
+  t.checks <- t.checks + 1;
+  if not ready then
+    fail "cycle %d: slot %d selected while its ROB entry is not ready" cycle slot;
+  if deps_left <> 0 then
+    fail "cycle %d: slot %d selected with %d unresolved source operands" cycle slot
+      deps_left;
+  if not (Scheduler.slot_ready sched slot) then
+    fail "cycle %d: slot %d selected without its BID bit" cycle slot;
+  match t.policy with
+  | Scheduler.Random_ready -> ()
+  | Scheduler.Oldest_ready ->
+    iter_candidates sched ~slot (fun c ->
+        if c <> slot && Scheduler.slot_older sched c slot then
+          fail "cycle %d: oldest-ready pick %d bypassed older ready slot %d" cycle slot
+            c)
+  | Scheduler.Crisp ->
+    let critical = Scheduler.slot_critical sched slot in
+    iter_candidates sched ~slot (fun c ->
+        if c <> slot then begin
+          if Scheduler.slot_critical sched c then begin
+            if not critical then
+              fail
+                "cycle %d: non-critical pick %d bypassed ready critical slot %d \
+                 (PRIO violated)"
+                cycle slot c;
+            if Scheduler.slot_older sched c slot then
+              fail "cycle %d: critical pick %d bypassed older ready critical slot %d"
+                cycle slot c
+          end
+          else if (not critical) && Scheduler.slot_older sched c slot then
+            fail "cycle %d: fallback pick %d bypassed older ready slot %d" cycle slot c
+        end)
+
+let check_retire t ~cycle ~dyn ~expected =
+  t.checks <- t.checks + 1;
+  if dyn <> expected then
+    fail "cycle %d: out-of-order retirement — ROB head holds dyn %d, expected %d"
+      cycle dyn expected
+
+let check_cycle t sched ~cycle ~rs_resident =
+  t.checks <- t.checks + 1;
+  let occupancy = Scheduler.occupancy sched in
+  if occupancy <> rs_resident then
+    fail
+      "cycle %d: RS occupancy not conserved — scheduler holds %d slots, ROB has %d \
+       resident entries"
+      cycle occupancy rs_resident;
+  if cycle land 63 = 0 then begin
+    t.checks <- t.checks + 1;
+    match Scheduler.self_check sched with
+    | Some msg -> fail "cycle %d: %s" cycle msg
+    | None -> ()
+  end

@@ -51,6 +51,7 @@ let make ?(input = Workload.Ref) ?(instrs = 240_000) () =
     description = "game-tree search with unpredictable score-comparison branches";
     program = assemble ~name:"deepsjeng" code;
     reg_init =
-      [ (pos, 12345); (alpha, 2048); (tb, table); (hb, history); (h, 7); buf_init ];
+      [ (pos, 12345); (alpha, 2048); (tb, table); (hb, history); (h, 7); (best, 0);
+        (i, 0); buf_init ];
     mem_init = Mem_builder.table mb;
     max_instrs = instrs }

@@ -49,6 +49,7 @@ let make ?(input = Workload.Ref) ?(instrs = 240_000) () =
   { Workload.name = "imgdnn";
     description = "dense inference: streaming weights, resident activations";
     program = assemble ~name:"imgdnn" code;
-    reg_init = [ (wp, weights); (wend, weights + (rows * dim * 8)); (ab, activations) ];
+    reg_init =
+      [ (wp, weights); (wend, weights + (rows * dim * 8)); (ab, activations); (r, 0) ];
     mem_init = Mem_builder.table mb;
     max_instrs = instrs }

@@ -91,6 +91,6 @@ let make ?(input = Workload.Ref) ?(instrs = 240_000) () =
     program = assemble ~name:"moses" code;
     reg_init =
       [ (ptr, phrases); (pend, phrases + (phrase_count * 8)); (l1b, l1_base); (i, 3);
-        buf_init ];
+        (prob, 0); (acc, 0); buf_init ];
     mem_init = Mem_builder.table mb;
     max_instrs = instrs }

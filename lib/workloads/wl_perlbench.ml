@@ -74,6 +74,6 @@ let make ?(input = Workload.Ref) ?(instrs = 240_000) () =
     program = assemble ~name:"perlbench" code;
     reg_init =
       [ (kp, keys_base); (kend, keys_base + (key_count * 8)); (tb, table_base); (i, 3);
-        buf_init ];
+        (acc, 0); buf_init ];
     mem_init = Mem_builder.table mb;
     max_instrs = instrs }

@@ -39,6 +39,9 @@ let make ?(input = Workload.Ref) ?(instrs = 240_000) ?(vec_size = 24)
       "linked-list traversal interleaved with vector-scalar multiplication \
        (paper Figure 2)";
     program = assemble ~name:"pointer_chase" code;
-    reg_init = [ (cur, head); (vbase, vec_base) ];
+    (* [v] is live into the first inner-loop pass, before the first
+       cur->val load executes: the first vector sweep multiplies by the
+       initial value declared here. *)
+    reg_init = [ (cur, head); (vbase, vec_base); (v, 0) ];
     mem_init = Mem_builder.table mb;
     max_instrs = instrs }

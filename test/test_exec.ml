@@ -94,6 +94,62 @@ let test_ws_queue_concurrent_exactly_once () =
   Array.iter (fun a -> if Atomic.get a <> 1 then consumed_once := false) seen;
   check bool "every element consumed exactly once" true !consumed_once
 
+(* Steal-vs-pop on a prefilled queue: the owner drains from the head while
+   thieves concurrently steal batches from the same end.  Whatever the
+   interleaving, consumption must partition the elements — exactly once
+   each, nothing lost, nothing duplicated. *)
+let test_ws_queue_steal_vs_pop () =
+  let total = 8192 and thieves = 4 in
+  let victim = Ws_queue.create () in
+  let seen = Array.init total (fun _ -> Atomic.make 0) in
+  for i = 0 to total - 1 do
+    assert (Ws_queue.push victim i)
+  done;
+  let go = Atomic.make false in
+  let thief_domains =
+    List.init thieves (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get go) do
+              Domain.cpu_relax ()
+            done;
+            let mine = Ws_queue.create () in
+            let consumed = ref 0 in
+            let rec loop idle =
+              let stolen = Ws_queue.steal ~from:victim ~into:mine in
+              let rec drain () =
+                match Ws_queue.pop mine with
+                | Some i ->
+                  Atomic.incr seen.(i);
+                  incr consumed;
+                  drain ()
+                | None -> ()
+              in
+              drain ();
+              (* A few empty rounds may be races with other thieves; only
+                 give up after the victim has stayed empty a while. *)
+              if stolen > 0 then loop 0 else if idle < 64 then loop (idle + 1)
+            in
+            loop 0;
+            !consumed))
+  in
+  Atomic.set go true;
+  let owner_consumed = ref 0 in
+  let rec pop_all idle =
+    match Ws_queue.pop victim with
+    | Some i ->
+      Atomic.incr seen.(i);
+      incr owner_consumed;
+      pop_all 0
+    | None -> if idle < 64 then pop_all (idle + 1)
+  in
+  pop_all 0;
+  let stolen_counts = List.map Domain.join thief_domains in
+  let consumed_once = ref true in
+  Array.iter (fun a -> if Atomic.get a <> 1 then consumed_once := false) seen;
+  check bool "every element consumed exactly once" true !consumed_once;
+  check int "consumption partitions the queue" total
+    (List.fold_left ( + ) !owner_consumed stolen_counts)
+
 (* ---------------- Future ---------------- *)
 
 let test_future_basics () =
@@ -122,6 +178,40 @@ let test_future_failure () =
     (match Future.await mapped with
     | _ -> false
     | exception Failure m -> m = "inner")
+
+(* Set-vs-await race: many domains race to fulfill one future while many
+   others are already blocked in [await].  Exactly one fulfill wins (the
+   rest observe [Invalid_argument]), and every awaiter sees the winning
+   value — write-once semantics under contention. *)
+let test_future_set_vs_await_race () =
+  let rounds = 200 and setters = 4 and awaiters = 4 in
+  for _ = 1 to rounds do
+    let fut = Future.create () in
+    let go = Atomic.make false in
+    let awaiter_domains =
+      List.init awaiters (fun _ -> Domain.spawn (fun () -> Future.await fut))
+    in
+    let setter_domains =
+      List.init setters (fun value ->
+          Domain.spawn (fun () ->
+              while not (Atomic.get go) do
+                Domain.cpu_relax ()
+              done;
+              match Future.fulfill fut value with
+              | () -> Some value
+              | exception Invalid_argument _ -> None))
+    in
+    Atomic.set go true;
+    let winners = List.filter_map Domain.join setter_domains in
+    let observed = List.map Domain.join awaiter_domains in
+    (match winners with
+    | [ winner ] ->
+      List.iter
+        (fun v -> check int "awaiter sees the winning value" winner v)
+        observed
+    | ws -> Alcotest.failf "expected exactly one winning fulfill, got %d" (List.length ws));
+    check bool "future resolved" true (Future.is_resolved fut)
+  done
 
 (* ---------------- Pool ---------------- *)
 
@@ -282,10 +372,13 @@ let () =
           Alcotest.test_case "full" `Quick test_ws_queue_full;
           Alcotest.test_case "steal-half" `Quick test_ws_queue_steal_half;
           Alcotest.test_case "concurrent-exactly-once" `Slow
-            test_ws_queue_concurrent_exactly_once ] );
+            test_ws_queue_concurrent_exactly_once;
+          Alcotest.test_case "steal-vs-pop" `Slow test_ws_queue_steal_vs_pop ] );
       ( "future",
         [ Alcotest.test_case "basics" `Quick test_future_basics;
-          Alcotest.test_case "failure" `Quick test_future_failure ] );
+          Alcotest.test_case "failure" `Quick test_future_failure;
+          Alcotest.test_case "set-vs-await-race" `Slow
+            test_future_set_vs_await_race ] );
       ( "pool",
         [ Alcotest.test_case "exactly-once-many-submitters" `Slow
             test_pool_exactly_once_many_submitters;
