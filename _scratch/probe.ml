@@ -1,0 +1,33 @@
+(* Counterexample probe: does Slice_check.verify_slice accept Slicer.extract
+   output on a trace where different dynamic instances of the same static pc
+   have different producers? *)
+let nop : Program.decoded =
+  { Program.op = Isa.Nop; dst = -1; src1 = -1; src2 = -1; imm = 0; target = -1 }
+
+let prog : Program.t =
+  { Program.name = "probe"; code = Array.make 5 nop; labels = [] }
+
+let dyn pc : Executor.dyn =
+  { Executor.pc; op = Isa.Nop; dst = -1; src1 = -1; src2 = -1; addr = -1;
+    taken = false; next_pc = 0 }
+
+(* dyn idx: 0:D(pc4) 1:B'(pc2,prod1=0) 2:C(pc3) 3:B(pc2,prod1=2)
+   4:A(pc1,prod1=1) 5:R(pc0,prod1=4,prod2=3) *)
+let trace : Executor.t =
+  { Executor.prog; dyns = [| dyn 4; dyn 2; dyn 3; dyn 2; dyn 1; dyn 0 |];
+    halted = true }
+
+let deps : Deps.t =
+  { Deps.prod1 = [| -1; 0; -1; 2; 1; 4 |];
+    prod2 = [| -1; -1; -1; -1; -1; 3 |];
+    prod_mem = [| -1; -1; -1; -1; -1; -1 |] }
+
+let () =
+  let slice = Slicer.extract trace deps ~root_pc:0 in
+  Printf.printf "slice members: %s\n"
+    (String.concat "," (List.map string_of_int slice.Slicer.pc_list));
+  let violations = Slice_check.verify_slice trace deps slice in
+  Printf.printf "violations: %d\n" (List.length violations);
+  List.iter
+    (fun v -> Format.printf "  %a@." Slice_check.pp_violation v)
+    violations
