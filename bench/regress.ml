@@ -1,0 +1,58 @@
+(* Golden-stats regression driver.
+
+   [regress check] simulates every catalog workload at the golden trace
+   sizes and diffs the statistics/counter vector against the committed
+   goldens in test/goldens/, exiting non-zero on any untoleranced drift.
+   [regress snapshot] regenerates the goldens after an intentional model
+   change (see EXPERIMENTS.md). *)
+
+let usage = "regress [-dir DIR] [-eval N] [-train N] (snapshot|check) [workload...]"
+
+let () =
+  let dir = ref "test/goldens" in
+  let eval_instrs = ref Golden_stats.default_sizes.Golden_stats.eval_instrs in
+  let train_instrs = ref Golden_stats.default_sizes.Golden_stats.train_instrs in
+  let anon = ref [] in
+  Arg.parse
+    [ ("-dir", Arg.Set_string dir, "DIR golden directory (default test/goldens)");
+      ("-eval", Arg.Set_int eval_instrs, "N evaluation trace length");
+      ("-train", Arg.Set_int train_instrs, "N training trace length") ]
+    (fun a -> anon := a :: !anon)
+    usage;
+  let sizes =
+    { Golden_stats.eval_instrs = !eval_instrs; train_instrs = !train_instrs }
+  in
+  let command, names =
+    match List.rev !anon with
+    | cmd :: rest -> (cmd, if rest = [] then Catalog.names else rest)
+    | [] ->
+      prerr_endline usage;
+      exit 2
+  in
+  match command with
+  | "snapshot" ->
+    if not (Sys.file_exists !dir) then Sys.mkdir !dir 0o755;
+    List.iter
+      (fun name ->
+        Golden_stats.write ~dir:!dir ~sizes name;
+        Printf.printf "wrote %s\n%!" (Golden_stats.path ~dir:!dir name))
+      names
+  | "check" ->
+    let failures = ref 0 in
+    List.iter
+      (fun name ->
+        match Golden_stats.check ~dir:!dir ~sizes name with
+        | Ok () -> Printf.printf "ok   %s\n%!" name
+        | Error report ->
+          incr failures;
+          Printf.printf "FAIL %s\n%s\n%!" name report)
+      names;
+    if !failures > 0 then begin
+      Printf.printf "%d of %d workloads drifted from their goldens\n" !failures
+        (List.length names);
+      exit 1
+    end
+    else Printf.printf "all %d workloads match their goldens\n" (List.length names)
+  | other ->
+    Printf.eprintf "unknown command %S\n%s\n" other usage;
+    exit 2

@@ -2,6 +2,7 @@
 
    Subcommands:
      simulate    run one workload on the cycle-level core
+     trace       run one workload with the observability layer and export events
      profile     print the software profiling report for a workload
      slices      print the criticality tagging for a workload
      experiments regenerate paper tables/figures
@@ -87,6 +88,68 @@ let simulate workload instrs train_instrs sched rs rob threshold =
       (100.
       *. ((Cpu_stats.ipc outcome.Runner.stats /. Cpu_stats.ipc base.Runner.stats) -. 1.))
   end
+
+let trace_output_arg =
+  let doc = "Output file ($(docv) = - writes to stdout)." in
+  Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Export format: $(b,chrome) (chrome://tracing / Perfetto JSON), $(b,jsonl) \
+     (one JSON object per retained ring event) or $(b,binary) (the raw ring)."
+  in
+  Arg.(value & opt string "chrome" & info [ "f"; "format" ] ~docv:"FMT" ~doc)
+
+let trace_ring_arg =
+  let doc = "Event-ring capacity: how many recent events the exporters see." in
+  Arg.(value & opt int 65_536 & info [ "ring" ] ~docv:"N" ~doc)
+
+let trace workload instrs train_instrs sched rs rob threshold output format ring =
+  let cfg = base_config ~rs ~rob in
+  let variant =
+    match variant_of_string threshold sched with
+    | Ok v -> v
+    | Error other ->
+      Printf.eprintf "unknown scheduler %S\n" other;
+      exit 2
+  in
+  let tracer = Obs_tracer.create ~ring_capacity:ring () in
+  let outcome, tracer =
+    Runner.traced ~cfg ~eval_instrs:instrs ~train_instrs ~tracer ~name:workload
+      variant
+  in
+  let write_to f =
+    if output = "-" then f stdout
+    else begin
+      let oc = open_out_bin output in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+    end
+  in
+  (match format with
+  | "chrome" | "jsonl" ->
+    let buf = Buffer.create 65_536 in
+    if format = "chrome" then Obs_export.chrome_trace buf tracer
+    else Obs_export.jsonl buf tracer;
+    write_to (fun oc -> Buffer.output_buffer oc buf)
+  | "binary" -> write_to (fun oc -> Obs_ring.write_binary oc (Obs_tracer.ring tracer))
+  | other ->
+    Printf.eprintf "unknown format %S (expected chrome, jsonl or binary)\n" other;
+    exit 2);
+  Printf.eprintf "%s on %s (%d micro-ops):\n" sched workload instrs;
+  Format.eprintf "%a" Cpu_stats.pp_summary outcome.Runner.stats;
+  let c = Obs_tracer.counter tracer in
+  Printf.eprintf
+    "events: %d recorded, %d in window, %d dropped\n\
+     stages: fetch %d  dispatch %d  select %d (%d PRIO overrides)  issue %d  \
+     retire %d (%d critical)\n\
+     memory: %d L1D->LLC  %d L1D->DRAM  %d L1I misses  %d prefetches  %d MSHR \
+     retries\n"
+    (c "events_recorded")
+    (Obs_ring.length (Obs_tracer.ring tracer))
+    (c "events_dropped") (c "fetch") (c "dispatch") (c "select")
+    (c "prio_override") (c "issue") (c "retire") (c "retire_critical")
+    (c "l1d_miss_llc") (c "l1d_miss_mem") (c "l1i_miss") (c "prefetch")
+    (c "mshr_retry")
 
 let profile workload instrs =
   let w = Catalog.make ~input:Workload.Train ~instrs workload in
@@ -240,6 +303,19 @@ let simulate_cmd =
       const simulate $ workload_arg $ instrs_arg $ train_arg $ sched_arg $ rs_arg
       $ rob_arg $ threshold_arg)
 
+let trace_cmd =
+  let info =
+    Cmd.info "trace"
+      ~doc:
+        "Run one workload with the observability layer enabled and export the \
+         pipeline event stream (statistics go to stderr)."
+  in
+  Cmd.v info
+    Term.(
+      const trace $ workload_arg $ instrs_arg $ train_arg $ sched_arg $ rs_arg
+      $ rob_arg $ threshold_arg $ trace_output_arg $ trace_format_arg
+      $ trace_ring_arg)
+
 let profile_cmd =
   let info = Cmd.info "profile" ~doc:"Print the software profiling report." in
   Cmd.v info Term.(const profile $ workload_arg $ instrs_arg)
@@ -285,5 +361,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ simulate_cmd; profile_cmd; slices_cmd; experiments_cmd; check_cmd;
-            list_cmd ]))
+          [ simulate_cmd; trace_cmd; profile_cmd; slices_cmd; experiments_cmd;
+            check_cmd; list_cmd ]))

@@ -30,13 +30,13 @@ let cache_key ~cfg ~eval_instrs ~train_instrs ~name variant =
           shared across domains"
          name)
 
-let run_variant ~cfg ~eval_instrs ~train_instrs ~name variant =
+let run_variant ?tracer ~cfg ~eval_instrs ~train_instrs ~name variant =
   let eval_workload = Catalog.make ~input:Workload.Ref ~instrs:eval_instrs name in
   let eval_trace = Workload.trace eval_workload in
   match variant with
   | Ooo ->
     let cfg = Cpu_config.with_policy Scheduler.Oldest_ready cfg in
-    { stats = Cpu_core.run cfg eval_trace; artifacts = None }
+    { stats = Cpu_core.run ?tracer cfg eval_trace; artifacts = None }
   | Crisp (thresholds, options) ->
     let train_workload = Catalog.make ~input:Workload.Train ~instrs:train_instrs name in
     let artifacts =
@@ -44,7 +44,7 @@ let run_variant ~cfg ~eval_instrs ~train_instrs ~name variant =
     in
     let cfg = Cpu_config.with_policy Scheduler.Crisp cfg in
     let stats =
-      Cpu_core.run ~criticality:(Fdo.criticality artifacts) cfg eval_trace
+      Cpu_core.run ~criticality:(Fdo.criticality artifacts) ?tracer cfg eval_trace
     in
     { stats; artifacts = Some artifacts }
   | Ibda ibda_cfg ->
@@ -52,8 +52,8 @@ let run_variant ~cfg ~eval_instrs ~train_instrs ~name variant =
     let result = Ibda.analyze ~mem_params:cfg.Cpu_config.mem ibda_cfg eval_trace in
     let cfg = Cpu_config.with_policy Scheduler.Crisp cfg in
     let stats =
-      Cpu_core.run ~criticality:(Cpu_core.Dynamic_tags (Ibda.is_critical result)) cfg
-        eval_trace
+      Cpu_core.run ~criticality:(Cpu_core.Dynamic_tags (Ibda.is_critical result))
+        ?tracer cfg eval_trace
     in
     { stats; artifacts = None }
 
@@ -62,6 +62,18 @@ let evaluate ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
   let key = cache_key ~cfg ~eval_instrs ~train_instrs ~name variant in
   Exec.Memo.find_or_run cache key (fun () ->
       run_variant ~cfg ~eval_instrs ~train_instrs ~name variant)
+
+let traced ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
+    ?(train_instrs = 150_000) ?tracer ~name variant =
+  (* Tracers hold closures and grow-on-write buffers, so a traced run is
+     never memoised: the cache key must stay plain data, and a cached
+     outcome could not replay its event stream anyway. *)
+  let cfg = Cpu_config.with_obs true cfg in
+  let tracer =
+    match tracer with Some t -> t | None -> Obs_tracer.create ()
+  in
+  let outcome = run_variant ~tracer ~cfg ~eval_instrs ~train_instrs ~name variant in
+  (outcome, tracer)
 
 let speedup_over_ooo ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
     ?(train_instrs = 150_000) ~name variant =

@@ -42,6 +42,20 @@ val evaluate :
     The CRISP variants profile on the [Train] input and evaluate on [Ref]
     (Section 5.1); IBDA learns online during the evaluation run itself. *)
 
+val traced :
+  ?cfg:Cpu_config.t ->
+  ?eval_instrs:int ->
+  ?train_instrs:int ->
+  ?tracer:Obs_tracer.t ->
+  name:string ->
+  variant ->
+  outcome * Obs_tracer.t
+(** Like {!evaluate} but with the observability layer enabled: the
+    evaluation run emits pipeline events into the returned tracer (a
+    fresh one unless [tracer] is supplied).  Never memoised — tracers are
+    not plain data — and statistics are identical to the untraced run on
+    the same inputs. *)
+
 val speedup_over_ooo :
   ?cfg:Cpu_config.t -> ?eval_instrs:int -> ?train_instrs:int -> name:string ->
   variant -> float

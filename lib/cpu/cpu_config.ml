@@ -21,6 +21,7 @@ type t = {
   record_upc : bool;
   max_cycles : int option;
   scoreboard : bool;
+  obs : bool;
 }
 
 let skylake =
@@ -45,11 +46,14 @@ let skylake =
     seed = 0x51ab;
     record_upc = false;
     max_cycles = None;
-    scoreboard = false }
+    scoreboard = false;
+    obs = false }
 
 let with_policy policy t = { t with policy }
 
 let with_scoreboard scoreboard t = { t with scoreboard }
+
+let with_obs obs t = { t with obs }
 
 let with_window ~rs ~rob t =
   { t with

@@ -27,6 +27,11 @@ type t = {
       (** run the debug-mode pipeline scoreboard ({!Scoreboard}): per-cycle
           invariant checks on ROB/RS/age-matrix state.  Off by default; the
           oracle is read-only, so statistics are identical either way. *)
+  obs : bool;
+      (** enable the observability layer: {!Cpu_core.run} emits pipeline
+          events and per-stage counters into an [Obs_tracer.t].  Off by
+          default; the tracer is write-only from the pipeline's point of
+          view, so statistics are bit-identical either way. *)
 }
 
 val skylake : t
@@ -35,6 +40,8 @@ val skylake : t
 val with_policy : Scheduler.policy -> t -> t
 
 val with_scoreboard : bool -> t -> t
+
+val with_obs : bool -> t -> t
 
 val with_window : rs:int -> rob:int -> t -> t
 (** Scale the out-of-order window for the Section 5.4 study.  The load and

@@ -68,6 +68,7 @@ type state = {
   mutable critical_retired : int;
   upc_timeline : int Vec.t option;
   sb : Scoreboard.t option;  (* debug-mode invariant oracle, read-only *)
+  obs : Obs_tracer.t option;  (* observability tracer, write-only sink *)
 }
 
 let fresh_entry () =
@@ -95,6 +96,9 @@ let process_completions s =
       (fun rob_idx ->
         let e = s.rob.(rob_idx) in
         e.state <- st_done;
+        (match s.obs with
+        | Some tr -> Obs_tracer.on_complete tr ~cycle:s.cycle ~dyn:e.dyn
+        | None -> ());
         List.iter
           (fun dep_idx ->
             let dep = s.rob.(dep_idx) in
@@ -149,6 +153,10 @@ let retire s =
     else begin
       (match s.sb with
       | Some sb -> Scoreboard.check_retire sb ~cycle:s.cycle ~dyn:e.dyn ~expected:s.retired
+      | None -> ());
+      (match s.obs with
+      | Some tr ->
+        Obs_tracer.on_retire tr ~cycle:s.cycle ~dyn:e.dyn ~critical:e.critical
       | None -> ());
       let d = s.dyns.(e.dyn) in
       (match d.Executor.op with
@@ -222,13 +230,10 @@ let issue s =
     if slot < 0 then continue_ := false
     else begin
       incr picks;
+      (* Selection-time introspection (scoreboard checks, tracer events)
+         already ran inside [Scheduler.select] via the shared hook. *)
       let rob_idx = s.rs_owner.(slot) in
       let e = s.rob.(rob_idx) in
-      (match s.sb with
-      | Some sb ->
-        Scoreboard.check_select sb s.sched ~cycle:s.cycle ~slot
-          ~ready:(e.state = st_ready) ~deps_left:e.deps_left
-      | None -> ());
       let d = s.dyns.(e.dyn) in
       let port =
         match Isa.fu_of_op d.Executor.op with
@@ -241,6 +246,10 @@ let issue s =
         | `Issued completion ->
           decr port;
           Scheduler.issue s.sched slot;
+          (match s.obs with
+          | Some tr ->
+            Obs_tracer.on_issue tr ~cycle:s.cycle ~dyn:e.dyn ~critical:e.critical
+          | None -> ());
           e.rs_slot <- -1;
           e.state <- st_issued;
           e.completion <- completion;
@@ -250,6 +259,9 @@ let issue s =
              and retry next cycle. *)
           decr port;
           Scheduler.unready s.sched slot;
+          (match s.obs with
+          | Some tr -> Obs_tracer.on_mshr_retry tr ~cycle:s.cycle ~dyn:e.dyn
+          | None -> ());
           s.mshr_retry <- rob_idx :: s.mshr_retry
       end
     end
@@ -320,6 +332,10 @@ let dispatch_one s dyn_idx =
         e.state <- st_ready;
         Scheduler.mark_ready s.sched slot
       end;
+      (match s.obs with
+      | Some tr ->
+        Obs_tracer.on_dispatch tr ~cycle:s.cycle ~dyn:dyn_idx ~rob:rob_idx ~critical
+      | None -> ());
       `Dispatched
   end
 
@@ -345,6 +361,11 @@ let dispatch s =
 (* Handle the control-flow consequences of fetching [d].  Returns [`Continue]
    to keep fetching this cycle, [`End_group] after a taken transfer,
    [`Blocked] when fetch must stop until a resolution or bubble ends. *)
+let obs_redirect s dyn_idx kind =
+  match s.obs with
+  | Some tr -> Obs_tracer.on_redirect tr ~cycle:s.cycle ~dyn:dyn_idx ~kind
+  | None -> ()
+
 let fetch_control s dyn_idx (d : Executor.dyn) =
   match d.Executor.op with
   | Isa.Branch _ ->
@@ -352,6 +373,7 @@ let fetch_control s dyn_idx (d : Executor.dyn) =
     let predicted = Tage.predict_and_update s.tage ~pc:d.Executor.pc ~taken:d.Executor.taken in
     if predicted <> d.Executor.taken then begin
       s.branch_mispredicts <- s.branch_mispredicts + 1;
+      obs_redirect s dyn_idx `Mispredict;
       s.waiting_dyn <- dyn_idx;
       `Blocked
     end
@@ -366,6 +388,7 @@ let fetch_control s dyn_idx (d : Executor.dyn) =
       if target_ok then `End_group
       else begin
         s.btb_misses <- s.btb_misses + 1;
+        obs_redirect s dyn_idx `Btb_miss;
         s.fetch_blocked_until <- s.cycle + s.cfg.Cpu_config.btb_miss_penalty;
         `Blocked
       end
@@ -380,6 +403,7 @@ let fetch_control s dyn_idx (d : Executor.dyn) =
     | Some target when target = d.Executor.next_pc -> `End_group
     | Some _ | None ->
       s.ras_mispredicts <- s.ras_mispredicts + 1;
+      obs_redirect s dyn_idx `Ras_mispredict;
       s.waiting_dyn <- dyn_idx;
       `Blocked
   end
@@ -408,6 +432,10 @@ let fetch s =
       end;
       if !continue_ then begin
         Queue.push (dyn_idx, s.cycle + s.cfg.Cpu_config.frontend_depth) s.fq;
+        (match s.obs with
+        | Some tr ->
+          Obs_tracer.on_fetch tr ~cycle:s.cycle ~dyn:dyn_idx ~pc:d.Executor.pc
+        | None -> ());
         s.fetch_idx <- s.fetch_idx + 1;
         incr fetched;
         match fetch_control s dyn_idx d with
@@ -447,7 +475,7 @@ let fdip s =
 (* Top level.                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(criticality = No_tags) ?layout cfg (trace : Executor.t) =
+let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
   let dyns = trace.Executor.dyns in
   let n = Array.length dyns in
   let static_critical =
@@ -511,8 +539,33 @@ let run ?(criticality = No_tags) ?layout cfg (trace : Executor.t) =
       critical_retired = 0;
       upc_timeline =
         (if cfg.Cpu_config.record_upc then Some (Vec.create ~dummy:0 ()) else None);
-      sb = (if cfg.Cpu_config.scoreboard then Some (Scoreboard.create cfg) else None) }
+      sb = (if cfg.Cpu_config.scoreboard then Some (Scoreboard.create cfg) else None);
+      obs =
+        (if cfg.Cpu_config.obs then
+           Some (match tracer with Some t -> t | None -> Obs_tracer.create ())
+         else None) }
   in
+  (* Both observers share the scheduler's single instrumentation hook
+     (selection is the only pipeline event born inside [Scheduler]). *)
+  (match s.sb, s.obs with
+  | None, None -> ()
+  | sb, obs ->
+    Scheduler.set_on_select s.sched
+      (Some
+         (fun ~slot ~prio_override ->
+           let e = s.rob.(s.rs_owner.(slot)) in
+           (match sb with
+           | Some sb ->
+             Scoreboard.check_select sb s.sched ~cycle:s.cycle ~slot
+               ~ready:(e.state = st_ready) ~deps_left:e.deps_left
+           | None -> ());
+           match obs with
+           | Some tr ->
+             Obs_tracer.on_select tr ~cycle:s.cycle ~dyn:e.dyn ~prio_override
+           | None -> ())));
+  (match s.obs with
+  | Some tr -> Memory_system.set_tracer s.mem (Some tr)
+  | None -> ());
   let max_cycles =
     match cfg.Cpu_config.max_cycles with
     | Some m -> m
@@ -536,6 +589,11 @@ let run ?(criticality = No_tags) ?layout cfg (trace : Executor.t) =
       s.mlp_sum <- s.mlp_sum +. float_of_int outstanding;
       s.mlp_cycles <- s.mlp_cycles + 1
     end;
+    (match s.obs with
+    | Some tr ->
+      Obs_tracer.on_cycle tr ~rob_occupancy:s.rob_count
+        ~rs_occupancy:(Scheduler.occupancy s.sched)
+    | None -> ());
     (match s.sb with
     | Some sb ->
       (* Entries in [st_waiting] or [st_ready] are exactly those resident

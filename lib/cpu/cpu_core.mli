@@ -25,12 +25,18 @@ type criticality =
           tags depend on the state of on-chip tables at fetch time *)
 
 val run :
-  ?criticality:criticality -> ?layout:Layout.t -> Cpu_config.t -> Executor.t ->
-  Cpu_stats.t
+  ?criticality:criticality -> ?layout:Layout.t -> ?tracer:Obs_tracer.t ->
+  Cpu_config.t -> Executor.t -> Cpu_stats.t
 (** Simulate the whole trace and return aggregate statistics.  [layout]
     defaults to the byte layout induced by the criticality tags (critical
     instructions carry a one-byte prefix, which grows the fetch footprint —
     Section 5.7).
+
+    When [Cpu_config.obs] is set the run emits pipeline events into
+    [tracer] (a fresh tracer is created when none is supplied); with it
+    unset [tracer] is ignored and no observability work happens.  The
+    tracer is a write-only sink, so the returned statistics are identical
+    either way.
 
     @raise Failure if the pipeline fails to make progress within the
     configured cycle budget (indicates a model bug, not a workload

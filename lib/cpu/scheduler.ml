@@ -14,6 +14,11 @@ type t = {
   free : int array;  (* free-slot stack, randomised for RAND allocation *)
   mutable free_count : int;
   rng : Prng.t;
+  (* The single instrumentation point of the scheduler: fired once per
+     successful selection, after the selected bit is set.  Both the debug
+     scoreboard and the observability tracer attach through this hook, so
+     adding an observer never adds a second introspection call site. *)
+  mutable on_select : (slot:int -> prio_override:bool -> unit) option;
 }
 
 let create ?(seed = 0x5c3d) ~slots policy =
@@ -26,7 +31,10 @@ let create ?(seed = 0x5c3d) ~slots policy =
     scratch2 = Bitset.create slots;
     free = Array.init slots (fun i -> i);
     free_count = slots;
-    rng = Prng.create seed }
+    rng = Prng.create seed;
+    on_select = None }
+
+let set_on_select t hook = t.on_select <- hook
 
 let policy t = t.policy
 
@@ -73,18 +81,32 @@ let pick_random t cand =
 
 let select t =
   let cand = candidates t in
-  let slot =
+  let slot, prio_override =
     match t.policy with
-    | Oldest_ready -> Age_matrix.pick_oldest t.matrix cand
-    | Random_ready -> pick_random t cand
+    | Oldest_ready -> (Age_matrix.pick_oldest t.matrix cand, false)
+    | Random_ready -> (pick_random t cand, false)
     | Crisp ->
       (* PRIO = ready AND critical AND not selected; fall back to the plain
          oldest-ready pick when no prioritised candidate remains. *)
       Bitset.inter_into ~a:cand ~b:t.critical ~dst:t.scratch2;
       let prio_pick = Age_matrix.pick_oldest t.matrix t.scratch2 in
-      if prio_pick >= 0 then prio_pick else Age_matrix.pick_oldest t.matrix cand
+      if prio_pick >= 0 then begin
+        (* The override comparison is only of interest to observers; skip
+           the extra (read-only) age-matrix reduction when none listens. *)
+        let overrode =
+          Option.is_some t.on_select
+          && Age_matrix.pick_oldest t.matrix cand <> prio_pick
+        in
+        (prio_pick, overrode)
+      end
+      else (Age_matrix.pick_oldest t.matrix cand, false)
   in
-  if slot >= 0 then Bitset.set t.selected slot;
+  if slot >= 0 then begin
+    Bitset.set t.selected slot;
+    match t.on_select with
+    | Some hook -> hook ~slot ~prio_override
+    | None -> ()
+  end;
   slot
 
 let issue t slot =

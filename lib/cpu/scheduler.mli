@@ -56,6 +56,16 @@ val unready : t -> int -> unit
 
 val occupancy : t -> int
 
+val set_on_select : t -> (slot:int -> prio_override:bool -> unit) option -> unit
+(** Install (or clear) the scheduler's single instrumentation hook.  It
+    fires once per successful {!select}, after the slot's selected bit is
+    set and before [select] returns; [prio_override] is [true] when the
+    CRISP PRIO vector changed the pick relative to the plain oldest-ready
+    reduction.  The pipeline scoreboard and the observability tracer both
+    observe selections through this one hook — there is deliberately no
+    second introspection call site.  The hook must not mutate the
+    scheduler; with no hook installed, [select] does no extra work. *)
+
 (** {2 Scoreboard introspection}
 
     Read-only views of the BID/PRIO/age state for the debug-mode pipeline

@@ -41,6 +41,7 @@ type t = {
   outstanding_d : (int, int * level) Hashtbl.t;  (* line -> ready cycle, level *)
   outstanding_i : (int, int) Hashtbl.t;
   mutable prefetches_issued : int;
+  mutable tracer : Obs_tracer.t option;  (* observability sink, write-only *)
 }
 
 let create p =
@@ -53,9 +54,12 @@ let create p =
     stream = Stream_prefetcher.create ();
     outstanding_d = Hashtbl.create 64;
     outstanding_i = Hashtbl.create 64;
-    prefetches_issued = 0 }
+    prefetches_issued = 0;
+    tracer = None }
 
 let params t = t.p
+
+let set_tracer t tracer = t.tracer <- tracer
 
 let line_of addr = addr / line_bytes
 
@@ -79,6 +83,9 @@ let prefetch_line t ~cycle line =
   let addr = line * line_bytes in
   if not (Cache.probe t.l1d ~addr) then begin
     t.prefetches_issued <- t.prefetches_issued + 1;
+    (match t.tracer with
+    | Some tr -> Obs_tracer.on_prefetch tr ~cycle ~addr
+    | None -> ());
     if not (Cache.probe t.llc ~addr) then begin
       ignore (Dram.request t.dram ~cycle ~addr);
       Cache.fill_prefetch t.llc ~addr
@@ -125,14 +132,26 @@ let load t ~cycle ~addr =
         | `Miss ->
           (Dram.request t.dram ~cycle:(cycle + t.p.llc_latency) ~addr, Mem)
       in
+      (match t.tracer with
+      | Some tr ->
+        Obs_tracer.on_l1d_miss tr ~cycle ~addr
+          ~level:(match level with Mem -> `Mem | Llc | L1 -> `Llc)
+      | None -> ());
       Hashtbl.replace t.outstanding_d line (ready, level);
       Bop.record_fill t.bop ~line;
       `Done (ready, level)
     end
 
-let store_commit t ~cycle:_ ~addr =
+let store_commit t ~cycle ~addr =
   (* Write-allocate; the store buffer hides the fill latency. *)
-  if not (Cache.probe t.l1d ~addr) then ignore (Cache.access_info t.llc ~addr);
+  if not (Cache.probe t.l1d ~addr) then begin
+    let llc = Cache.access_info t.llc ~addr in
+    match t.tracer with
+    | Some tr ->
+      Obs_tracer.on_l1d_miss tr ~cycle ~addr
+        ~level:(match llc with `Hit | `Hit_prefetched -> `Llc | `Miss -> `Mem)
+    | None -> ()
+  end;
   ignore (Cache.access_info t.l1d ~addr)
 
 let fetch t ~cycle ~addr =
@@ -152,6 +171,11 @@ let fetch t ~cycle ~addr =
         | `Miss ->
           (Dram.request t.dram ~cycle:(cycle + t.p.llc_latency) ~addr, Mem)
       in
+      (match t.tracer with
+      | Some tr ->
+        Obs_tracer.on_l1i_miss tr ~cycle ~addr
+          ~level:(match level with Mem -> `Mem | Llc | L1 -> `Llc)
+      | None -> ());
       Hashtbl.replace t.outstanding_i line ready;
       (ready, level)
     end
@@ -161,6 +185,9 @@ let probe_inst t ~addr = Cache.probe t.l1i ~addr
 let prefetch_inst t ~cycle ~addr =
   if not (Cache.probe t.l1i ~addr) then begin
     t.prefetches_issued <- t.prefetches_issued + 1;
+    (match t.tracer with
+    | Some tr -> Obs_tracer.on_prefetch tr ~cycle ~addr
+    | None -> ());
     if not (Cache.probe t.llc ~addr) then begin
       ignore (Dram.request t.dram ~cycle ~addr);
       Cache.fill_prefetch t.llc ~addr

@@ -33,6 +33,14 @@ val create : params -> t
 
 val params : t -> params
 
+val set_tracer : t -> Obs_tracer.t option -> unit
+(** Attach (or detach) an observability tracer.  With a tracer installed
+    the timing interface emits [l1d_miss]/[l1i_miss]/[prefetch] events at
+    exactly the points where the corresponding {!stats} counters
+    increment; the tracer is a write-only sink, so timing and statistics
+    are unaffected.  The functional interface never emits (the profiler
+    replays accesses out of pipeline time). *)
+
 (** Which level served an access. *)
 type level =
   | L1

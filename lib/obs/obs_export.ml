@@ -1,0 +1,73 @@
+let jsonl buf tracer =
+  Obs_ring.iter
+    (fun ~cycle ~kind ~a ~b ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"c\":%d,\"k\":%s,\"a\":%d,\"b\":%d}\n" cycle
+           (Obs_json.to_string (Obs_json.Str (Obs_event.name kind)))
+           a b))
+    (Obs_tracer.ring tracer)
+
+(* Chrome's viewer draws one swim lane per (pid, tid); spreading
+   instructions over a fixed pool of lanes keeps overlapping lifetimes
+   visible without creating one row per instruction. *)
+let instr_lanes = 24
+
+(* Instant events sit on dedicated lanes above the instruction pool. *)
+let event_lane kind = 100 + kind
+
+let instant_kinds =
+  [ Obs_event.redirect_mispredict; Obs_event.redirect_btb_miss; Obs_event.redirect_ras;
+    Obs_event.l1d_miss_llc; Obs_event.l1d_miss_mem; Obs_event.l1i_miss;
+    Obs_event.prefetch; Obs_event.select ]
+
+let chrome_trace buf tracer =
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit json =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Obs_json.to_buffer buf json
+  in
+  let open Obs_json in
+  for dyn = 0 to Obs_tracer.num_dyns tracer - 1 do
+    match Obs_tracer.stamp tracer dyn with
+    | Some s when s.Obs_tracer.retire >= 0 && s.Obs_tracer.dispatch >= 0 ->
+      emit
+        (Obj
+           [ ("name", Str (Printf.sprintf "d%d pc=%d" dyn s.Obs_tracer.pc));
+             ("cat", Str (if s.Obs_tracer.critical then "critical" else "instr"));
+             ("ph", Str "X");
+             ("ts", num_int s.Obs_tracer.dispatch);
+             ("dur", num_int (max 1 (s.Obs_tracer.retire - s.Obs_tracer.dispatch)));
+             ("pid", num_int 0);
+             ("tid", num_int (dyn mod instr_lanes));
+             ("args",
+              Obj
+                [ ("dyn", num_int dyn);
+                  ("fetch", num_int s.Obs_tracer.fetch);
+                  ("issue", num_int s.Obs_tracer.issue);
+                  ("complete", num_int s.Obs_tracer.complete);
+                  ("critical", Bool s.Obs_tracer.critical) ]) ])
+    | Some _ | None -> ()
+  done;
+  Obs_ring.iter
+    (fun ~cycle ~kind ~a ~b ->
+      (* PRIO-override picks are the interesting subset of selections. *)
+      let wanted =
+        if kind = Obs_event.select then b = 1 else List.mem kind instant_kinds
+      in
+      if wanted then
+        emit
+          (Obj
+             [ ("name",
+                Str (if kind = Obs_event.select then "prio_override"
+                     else Obs_event.name kind));
+               ("cat", Str "event");
+               ("ph", Str "i");
+               ("s", Str "g");
+               ("ts", num_int cycle);
+               ("pid", num_int 0);
+               ("tid", num_int (event_lane kind));
+               ("args", Obj [ ("a", num_int a); ("b", num_int b) ]) ]))
+    (Obs_tracer.ring tracer);
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}"

@@ -1,0 +1,16 @@
+(** Exporters for the tracer: JSONL event log and Chrome trace JSON.
+
+    The Chrome trace loads directly into chrome://tracing / Perfetto:
+    every retired instruction becomes a complete ("X") duration event
+    spanning dispatch to retire (args carry the full per-stage
+    timestamps), and the retained ring window contributes instant ("i")
+    events for frontend redirects, cache misses, prefetches and
+    PRIO-override picks.  One simulated cycle maps to one microsecond of
+    trace time. *)
+
+val jsonl : Buffer.t -> Obs_tracer.t -> unit
+(** One compact JSON object per retained ring event, oldest first:
+    [{"c":cycle,"k":"kind","a":...,"b":...}]. *)
+
+val chrome_trace : Buffer.t -> Obs_tracer.t -> unit
+(** A complete Chrome trace object: [{"traceEvents":[...], ...}]. *)

@@ -1,0 +1,88 @@
+type vector = (string * float) list
+
+let normalise entries =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a = b then invalid_arg (Printf.sprintf "Obs_golden: duplicate key %S" a);
+      check rest
+    | _ -> ()
+  in
+  check sorted;
+  sorted
+
+let to_json_string ~meta entries =
+  let entries = normalise entries in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %s,\n"
+           (Obs_json.to_string (Obs_json.Str k))
+           (Obs_json.to_string (Obs_json.Str v))))
+    meta;
+  Buffer.add_string buf "  \"entries\": {\n";
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %s: %s%s\n"
+           (Obs_json.to_string (Obs_json.Str k))
+           (Obs_json.to_string (Obs_json.Num v))
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  }\n}\n";
+  Buffer.contents buf
+
+let of_json_string src =
+  match Obs_json.parse src with
+  | Obs_json.Obj fields ->
+    let meta =
+      List.filter_map
+        (fun (k, v) ->
+          match v with
+          | Obs_json.Str s -> Some (k, s)
+          | _ -> None)
+        fields
+    in
+    let entries =
+      match List.assoc_opt "entries" fields with
+      | Some (Obs_json.Obj kvs) ->
+        List.map (fun (k, v) -> (k, Obs_json.to_float v)) kvs
+      | _ -> failwith "Obs_golden.of_json_string: missing \"entries\" object"
+    in
+    (meta, normalise entries)
+  | _ -> failwith "Obs_golden.of_json_string: top level is not an object"
+
+type mismatch =
+  | Missing of string
+  | Extra of string
+  | Drift of { key : string; golden : float; actual : float; rtol : float }
+
+let pp_mismatch fmt = function
+  | Missing key -> Format.fprintf fmt "%s: in the golden but not in this run" key
+  | Extra key -> Format.fprintf fmt "%s: new key not present in the golden" key
+  | Drift { key; golden; actual; rtol } ->
+    Format.fprintf fmt "%s: golden %.17g, got %.17g (rtol %.1e)" key golden actual rtol
+
+let within ~rtol golden actual =
+  golden = actual
+  || Float.abs (actual -. golden) <= rtol *. Float.max (Float.abs golden) (Float.abs actual)
+
+let diff ?(rtol_for = fun _ -> 0.) ~golden actual =
+  let golden = normalise golden and actual = normalise actual in
+  let rec go g a acc =
+    match (g, a) with
+    | [], [] -> List.rev acc
+    | (k, _) :: g, [] -> go g [] (Missing k :: acc)
+    | [], (k, _) :: a -> go [] a (Extra k :: acc)
+    | (gk, gv) :: g', (ak, av) :: a' ->
+      if gk < ak then go g' a (Missing gk :: acc)
+      else if ak < gk then go g a' (Extra ak :: acc)
+      else begin
+        let rtol = rtol_for gk in
+        if within ~rtol gv av then go g' a' acc
+        else go g' a' (Drift { key = gk; golden = gv; actual = av; rtol } :: acc)
+      end
+  in
+  go golden actual []

@@ -1,0 +1,32 @@
+(** Golden-stat vectors: named numeric snapshots with a toleranced diff.
+
+    A vector is a sorted (name, value) list — simulator statistics,
+    tracer counters and histogram moments flattened into one flat
+    namespace.  Snapshots serialise to a stable JSON file; {!diff}
+    compares a fresh vector against a committed golden under a per-key
+    relative tolerance, so intentional recalibrations are explicit
+    (regenerate the golden) while silent drift fails CI. *)
+
+type vector = (string * float) list
+
+val normalise : vector -> vector
+(** Sort by key; raises [Invalid_argument] on duplicate keys. *)
+
+val to_json_string : meta:(string * string) list -> vector -> string
+(** Pretty-stable serialisation ([meta] string fields, then the entries
+    object with sorted keys, one per line). *)
+
+val of_json_string : string -> (string * string) list * vector
+(** Raises {!Obs_json.Parse_error} or [Failure] on malformed input. *)
+
+type mismatch =
+  | Missing of string  (** key in the golden, absent from the fresh run *)
+  | Extra of string  (** key in the fresh run, absent from the golden *)
+  | Drift of { key : string; golden : float; actual : float; rtol : float }
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+val diff : ?rtol_for:(string -> float) -> golden:vector -> vector -> mismatch list
+(** [diff ~golden actual]: key-wise comparison.  A key drifts when
+    [|actual - golden| > rtol * max |golden| |actual|]; with the default
+    [rtol_for] (constant 0) any difference is a drift. *)

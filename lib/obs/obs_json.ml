@@ -1,0 +1,227 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let num_int n = Num (float_of_int n)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_num buf v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" v)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" v)
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v -> add_num buf v
+  | Str s -> escape buf s
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape buf k;
+        Buffer.add_char buf ':';
+        to_buffer buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+}
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    advance c
+  done
+
+let expect c ch =
+  match peek c with
+  | Some got when got = ch -> advance c
+  | Some got -> fail "at %d: expected %c, got %c" c.pos ch got
+  | None -> fail "at %d: expected %c, got end of input" c.pos ch
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail "at %d: expected %s" c.pos word
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '/' -> Buffer.add_char buf '/'
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'b' -> Buffer.add_char buf '\b'
+      | Some 'f' -> Buffer.add_char buf '\012'
+      | Some 'u' ->
+        if c.pos + 4 >= String.length c.src then fail "truncated \\u escape";
+        let code = int_of_string ("0x" ^ String.sub c.src (c.pos + 1) 4) in
+        (* Only BMP codepoints we ourselves emit (control chars): keep the
+           low byte, which is exact for them. *)
+        Buffer.add_char buf (Char.chr (code land 0xff));
+        c.pos <- c.pos + 4
+      | Some ch -> fail "at %d: bad escape \\%c" c.pos ch
+      | None -> fail "truncated escape");
+      advance c;
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let numeric ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    match peek c with
+    | Some ch -> numeric ch
+    | None -> false
+  do
+    advance c
+  done;
+  let span = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt span with
+  | Some v -> Num v
+  | None -> fail "at %d: bad number %S" start span
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> Str (parse_string c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      Arr []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> fail "at %d: expected , or ] in array" c.pos
+      in
+      Arr (items [])
+    end
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        (k, parse_value c)
+      in
+      let rec fields acc =
+        let f = field () in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields (f :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev (f :: acc)
+        | _ -> fail "at %d: expected , or } in object" c.pos
+      in
+      Obj (fields [])
+    end
+  | Some _ -> parse_number c
+
+let parse src =
+  let c = { src; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length src then fail "at %d: trailing garbage" c.pos;
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function
+  | Num v -> v
+  | _ -> invalid_arg "Obs_json.to_float: not a number"

@@ -1,0 +1,35 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability layer exports Chrome traces, JSONL event logs and
+    golden-stat snapshots, and the regression harness must read the
+    snapshots back; no JSON library is available in the toolchain, so
+    this implements the needed subset (the full value grammar; string
+    escapes limited to the sequences we emit plus [\uXXXX] passthrough). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val num_int : int -> t
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Numbers that are integral print
+    without a fractional part; others print with enough digits to
+    round-trip through {!parse} exactly. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing fields or non-objects. *)
+
+val to_float : t -> float
+(** The number in a [Num]; raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,66 @@
+type t = {
+  buf : int array;  (* 4 words per event: cycle, kind, a, b *)
+  cap : int;
+  mutable start : int;  (* index of the oldest event *)
+  mutable len : int;
+  mutable total : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Obs_ring.create: capacity must be positive";
+  { buf = Array.make (capacity * 4) 0; cap = capacity; start = 0; len = 0; total = 0 }
+
+let capacity t = t.cap
+
+let record t ~cycle ~kind ~a ~b =
+  let slot = (t.start + t.len) mod t.cap in
+  let base = slot * 4 in
+  t.buf.(base) <- cycle;
+  t.buf.(base + 1) <- kind;
+  t.buf.(base + 2) <- a;
+  t.buf.(base + 3) <- b;
+  if t.len < t.cap then t.len <- t.len + 1 else t.start <- (t.start + 1) mod t.cap;
+  t.total <- t.total + 1
+
+let length t = t.len
+
+let recorded t = t.total
+
+let dropped t = t.total - t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    let base = (t.start + i) mod t.cap * 4 in
+    f ~cycle:t.buf.(base) ~kind:t.buf.(base + 1) ~a:t.buf.(base + 2) ~b:t.buf.(base + 3)
+  done
+
+let magic = 0x0b5e_0001
+
+let write_binary oc t =
+  output_binary_int oc magic;
+  output_binary_int oc t.cap;
+  output_binary_int oc t.len;
+  output_binary_int oc (dropped t);
+  iter
+    (fun ~cycle ~kind ~a ~b ->
+      output_binary_int oc cycle;
+      output_binary_int oc kind;
+      output_binary_int oc a;
+      output_binary_int oc b)
+    t
+
+let read_binary ic =
+  if input_binary_int ic <> magic then failwith "Obs_ring.read_binary: bad magic";
+  let cap = input_binary_int ic in
+  let len = input_binary_int ic in
+  let dropped = input_binary_int ic in
+  let t = create ~capacity:cap in
+  for _ = 1 to len do
+    let cycle = input_binary_int ic in
+    let kind = input_binary_int ic in
+    let a = input_binary_int ic in
+    let b = input_binary_int ic in
+    record t ~cycle ~kind ~a ~b
+  done;
+  t.total <- t.total + dropped;
+  t

@@ -1,0 +1,242 @@
+type stamp = {
+  pc : int;
+  fetch : int;
+  dispatch : int;
+  issue : int;
+  complete : int;
+  retire : int;
+  critical : bool;
+}
+
+type t = {
+  ring : Obs_ring.t;
+  (* per-dyn stage timestamps, grown on demand; -1 = stage not reached *)
+  mutable pc_of : int array;
+  mutable fetch_c : int array;
+  mutable dispatch_c : int array;
+  mutable issue_c : int array;
+  mutable complete_c : int array;
+  mutable retire_c : int array;
+  mutable crit : Bytes.t;
+  mutable max_dyn : int;  (* highest dyn seen + 1 *)
+  (* counters *)
+  mutable fetches : int;
+  mutable dispatches : int;
+  mutable selects : int;
+  mutable prio_overrides : int;
+  mutable issues : int;
+  mutable mshr_retries : int;
+  mutable completes : int;
+  mutable retires : int;
+  mutable retires_critical : int;
+  mutable redirects_mispredict : int;
+  mutable redirects_btb : int;
+  mutable redirects_ras : int;
+  mutable l1d_llc : int;
+  mutable l1d_mem : int;
+  mutable l1i : int;
+  mutable prefetches : int;
+  mutable cycles_sampled : int;
+  (* histograms *)
+  hist_rob : Obs_hist.t;
+  hist_rs : Obs_hist.t;
+  hist_rs_wait : Obs_hist.t;
+  hist_lat_critical : Obs_hist.t;
+  hist_lat_noncritical : Obs_hist.t;
+}
+
+let initial_dyns = 4096
+
+let create ?(ring_capacity = 65536) () =
+  { ring = Obs_ring.create ~capacity:ring_capacity;
+    pc_of = Array.make initial_dyns (-1);
+    fetch_c = Array.make initial_dyns (-1);
+    dispatch_c = Array.make initial_dyns (-1);
+    issue_c = Array.make initial_dyns (-1);
+    complete_c = Array.make initial_dyns (-1);
+    retire_c = Array.make initial_dyns (-1);
+    crit = Bytes.make initial_dyns '\000';
+    max_dyn = 0;
+    fetches = 0;
+    dispatches = 0;
+    selects = 0;
+    prio_overrides = 0;
+    issues = 0;
+    mshr_retries = 0;
+    completes = 0;
+    retires = 0;
+    retires_critical = 0;
+    redirects_mispredict = 0;
+    redirects_btb = 0;
+    redirects_ras = 0;
+    l1d_llc = 0;
+    l1d_mem = 0;
+    l1i = 0;
+    prefetches = 0;
+    cycles_sampled = 0;
+    hist_rob = Obs_hist.create ();
+    hist_rs = Obs_hist.create ();
+    hist_rs_wait = Obs_hist.create ();
+    hist_lat_critical = Obs_hist.create ();
+    hist_lat_noncritical = Obs_hist.create () }
+
+let grow_int old n =
+  let fresh = Array.make n (-1) in
+  Array.blit old 0 fresh 0 (Array.length old);
+  fresh
+
+let ensure t dyn =
+  let cap = Array.length t.fetch_c in
+  if dyn >= cap then begin
+    let n = max (cap * 2) (dyn + 1) in
+    t.pc_of <- grow_int t.pc_of n;
+    t.fetch_c <- grow_int t.fetch_c n;
+    t.dispatch_c <- grow_int t.dispatch_c n;
+    t.issue_c <- grow_int t.issue_c n;
+    t.complete_c <- grow_int t.complete_c n;
+    t.retire_c <- grow_int t.retire_c n;
+    let crit = Bytes.make n '\000' in
+    Bytes.blit t.crit 0 crit 0 (Bytes.length t.crit);
+    t.crit <- crit
+  end;
+  if dyn >= t.max_dyn then t.max_dyn <- dyn + 1
+
+let record t ~cycle ~kind ~a ~b = Obs_ring.record t.ring ~cycle ~kind ~a ~b
+
+let on_fetch t ~cycle ~dyn ~pc =
+  ensure t dyn;
+  t.pc_of.(dyn) <- pc;
+  t.fetch_c.(dyn) <- cycle;
+  t.fetches <- t.fetches + 1;
+  record t ~cycle ~kind:Obs_event.fetch ~a:dyn ~b:pc
+
+let on_dispatch t ~cycle ~dyn ~rob ~critical =
+  ensure t dyn;
+  t.dispatch_c.(dyn) <- cycle;
+  if critical then Bytes.set t.crit dyn '\001';
+  t.dispatches <- t.dispatches + 1;
+  record t ~cycle ~kind:Obs_event.dispatch ~a:dyn ~b:rob
+
+let on_select t ~cycle ~dyn ~prio_override =
+  t.selects <- t.selects + 1;
+  if prio_override then t.prio_overrides <- t.prio_overrides + 1;
+  record t ~cycle ~kind:Obs_event.select ~a:dyn ~b:(if prio_override then 1 else 0)
+
+let on_issue t ~cycle ~dyn ~critical =
+  ensure t dyn;
+  t.issue_c.(dyn) <- cycle;
+  t.issues <- t.issues + 1;
+  if t.dispatch_c.(dyn) >= 0 then
+    Obs_hist.add t.hist_rs_wait (cycle - t.dispatch_c.(dyn));
+  record t ~cycle ~kind:Obs_event.issue ~a:dyn ~b:(if critical then 1 else 0)
+
+let on_mshr_retry t ~cycle ~dyn =
+  t.mshr_retries <- t.mshr_retries + 1;
+  record t ~cycle ~kind:Obs_event.mshr_retry ~a:dyn ~b:0
+
+let on_complete t ~cycle ~dyn =
+  ensure t dyn;
+  t.complete_c.(dyn) <- cycle;
+  t.completes <- t.completes + 1;
+  record t ~cycle ~kind:Obs_event.complete ~a:dyn ~b:0
+
+let on_retire t ~cycle ~dyn ~critical =
+  ensure t dyn;
+  t.retire_c.(dyn) <- cycle;
+  t.retires <- t.retires + 1;
+  if critical then t.retires_critical <- t.retires_critical + 1;
+  if t.issue_c.(dyn) >= 0 then begin
+    let lat = cycle - t.issue_c.(dyn) in
+    Obs_hist.add (if critical then t.hist_lat_critical else t.hist_lat_noncritical) lat
+  end;
+  record t ~cycle ~kind:Obs_event.retire ~a:dyn ~b:(if critical then 1 else 0)
+
+let on_redirect t ~cycle ~dyn ~kind =
+  let code =
+    match kind with
+    | `Mispredict ->
+      t.redirects_mispredict <- t.redirects_mispredict + 1;
+      Obs_event.redirect_mispredict
+    | `Btb_miss ->
+      t.redirects_btb <- t.redirects_btb + 1;
+      Obs_event.redirect_btb_miss
+    | `Ras_mispredict ->
+      t.redirects_ras <- t.redirects_ras + 1;
+      Obs_event.redirect_ras
+  in
+  record t ~cycle ~kind:code ~a:dyn ~b:0
+
+let on_l1d_miss t ~cycle ~addr ~level =
+  let code =
+    match level with
+    | `Llc ->
+      t.l1d_llc <- t.l1d_llc + 1;
+      Obs_event.l1d_miss_llc
+    | `Mem ->
+      t.l1d_mem <- t.l1d_mem + 1;
+      Obs_event.l1d_miss_mem
+  in
+  record t ~cycle ~kind:code ~a:addr ~b:0
+
+let on_l1i_miss t ~cycle ~addr ~level =
+  t.l1i <- t.l1i + 1;
+  record t ~cycle ~kind:Obs_event.l1i_miss ~a:addr
+    ~b:(match level with `Llc -> 0 | `Mem -> 1)
+
+let on_prefetch t ~cycle ~addr =
+  t.prefetches <- t.prefetches + 1;
+  record t ~cycle ~kind:Obs_event.prefetch ~a:addr ~b:0
+
+let on_cycle t ~rob_occupancy ~rs_occupancy =
+  t.cycles_sampled <- t.cycles_sampled + 1;
+  Obs_hist.add t.hist_rob rob_occupancy;
+  Obs_hist.add t.hist_rs rs_occupancy
+
+let ring t = t.ring
+
+let counters t =
+  [ ("complete", t.completes);
+    ("cycles_sampled", t.cycles_sampled);
+    ("dispatch", t.dispatches);
+    ("events_dropped", Obs_ring.dropped t.ring);
+    ("events_recorded", Obs_ring.recorded t.ring);
+    ("fetch", t.fetches);
+    ("issue", t.issues);
+    ("l1d_miss_llc", t.l1d_llc);
+    ("l1d_miss_mem", t.l1d_mem);
+    ("l1i_miss", t.l1i);
+    ("mshr_retry", t.mshr_retries);
+    ("prefetch", t.prefetches);
+    ("prio_override", t.prio_overrides);
+    ("redirect_btb_miss", t.redirects_btb);
+    ("redirect_mispredict", t.redirects_mispredict);
+    ("redirect_ras", t.redirects_ras);
+    ("retire", t.retires);
+    ("retire_critical", t.retires_critical);
+    ("select", t.selects) ]
+
+let counter t name =
+  match List.assoc_opt name (counters t) with
+  | Some v -> v
+  | None -> 0
+
+let histograms t =
+  [ ("issue_to_retire_critical", t.hist_lat_critical);
+    ("issue_to_retire_noncritical", t.hist_lat_noncritical);
+    ("rob_occupancy", t.hist_rob);
+    ("rs_occupancy", t.hist_rs);
+    ("rs_wait", t.hist_rs_wait) ]
+
+let num_dyns t = t.max_dyn
+
+let stamp t dyn =
+  if dyn < 0 || dyn >= t.max_dyn || t.fetch_c.(dyn) < 0 then None
+  else
+    Some
+      { pc = t.pc_of.(dyn);
+        fetch = t.fetch_c.(dyn);
+        dispatch = t.dispatch_c.(dyn);
+        issue = t.issue_c.(dyn);
+        complete = t.complete_c.(dyn);
+        retire = t.retire_c.(dyn);
+        critical = Bytes.get t.crit dyn <> '\000' }

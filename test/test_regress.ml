@@ -1,0 +1,75 @@
+(* Golden-stats regression: every catalog workload's statistics and
+   observability counters must match the committed snapshots in
+   test/goldens/ (within the per-key tolerances of Golden_stats).
+
+   On an intentional model change, regenerate with
+     dune exec bench/regress.exe -- snapshot
+   and commit the updated goldens alongside the change (EXPERIMENTS.md). *)
+
+(* `dune runtest` runs with the sandboxed test directory as cwd (where the
+   (deps (glob_files ...)) staged the goldens); `dune exec
+   test/test_regress.exe` from the repo root sees the source tree instead. *)
+let goldens_dir =
+  match List.find_opt Sys.file_exists [ "goldens"; "test/goldens" ] with
+  | Some d -> d
+  | None -> "goldens"
+
+let test_workload name () =
+  match
+    Golden_stats.check ~dir:goldens_dir ~sizes:Golden_stats.default_sizes name
+  with
+  | Ok () -> ()
+  | Error report -> Alcotest.fail report
+
+let test_catalog_covered () =
+  (* Every golden on disk corresponds to a catalog workload and vice versa,
+     so a renamed workload cannot silently drop out of the regression. *)
+  let on_disk =
+    Sys.readdir goldens_dir |> Array.to_list
+    |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:".json" f)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string))
+    "goldens match the catalog exactly" (List.sort compare Catalog.names) on_disk
+
+let test_detects_drift () =
+  (* The harness itself must fail on untoleranced drift: checking a real
+     workload against a perturbed golden must report mismatches. *)
+  let name = "pointer_chase" in
+  let sizes = Golden_stats.default_sizes in
+  let meta, golden =
+    Obs_golden.of_json_string
+      (In_channel.with_open_bin
+         (Golden_stats.path ~dir:goldens_dir name)
+         In_channel.input_all)
+  in
+  ignore meta;
+  let perturbed =
+    List.map
+      (fun (k, v) -> if k = "crisp.cycles" then (k, v +. 1.) else (k, v))
+      golden
+  in
+  let fresh = Golden_stats.vector ~sizes name in
+  (match
+     Obs_golden.diff ~rtol_for:Golden_stats.default_rtol ~golden:perturbed fresh
+   with
+  | [] -> Alcotest.fail "a one-cycle perturbation must be reported as drift"
+  | [ Obs_golden.Drift { key = "crisp.cycles"; _ } ] -> ()
+  | ms ->
+    Alcotest.failf "expected exactly the perturbed key to drift, got %d mismatches"
+      (List.length ms));
+  match Obs_golden.diff ~rtol_for:Golden_stats.default_rtol ~golden fresh with
+  | [] -> ()
+  | ms ->
+    Alcotest.failf "unperturbed golden should match (%d mismatches)"
+      (List.length ms)
+
+let () =
+  Alcotest.run "regress"
+    [ ( "harness",
+        [ Alcotest.test_case "goldens cover the catalog" `Quick test_catalog_covered;
+          Alcotest.test_case "detects drift" `Quick test_detects_drift ] );
+      ( "goldens",
+        List.map
+          (fun name -> Alcotest.test_case name `Slow (test_workload name))
+          Catalog.names ) ]
