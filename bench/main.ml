@@ -12,6 +12,10 @@
    --jobs 0 (the default) uses one worker per recommended core; --jobs 1
    bypasses the pool and runs sequentially.  Figure text is byte-identical
    for every value.
+
+   --supervised runs every figure under the resilience layer: a figure
+   that crashes is logged and skipped (marker line + nonzero exit)
+   instead of killing the whole sweep.
 *)
 
 let micro_benchmarks () =
@@ -83,6 +87,7 @@ let micro_benchmarks () =
 let () =
   let args = Array.to_list Sys.argv in
   let jobs = ref 0 in
+  let supervised = ref false in
   let rec parse sizes figures = function
     | [] -> (sizes, List.rev figures)
     | "--eval" :: n :: rest ->
@@ -91,6 +96,9 @@ let () =
       parse { sizes with Experiments.train_instrs = int_of_string n } figures rest
     | "--jobs" :: n :: rest ->
       jobs := int_of_string n;
+      parse sizes figures rest
+    | "--supervised" :: rest ->
+      supervised := true;
       parse sizes figures rest
     | arg :: rest -> parse sizes (arg :: figures) rest
   in
@@ -120,10 +128,22 @@ let () =
     | "ablations" -> ignore (Experiments.ablations ~sizes ())
     | "division" -> ignore (Experiments.division ~sizes ())
     | "micro" -> micro_benchmarks ()
-    | other -> Printf.eprintf "unknown figure %S\n" other
+    | other ->
+      Printf.eprintf "unknown figure %S\n" other;
+      exit 2
   in
-  match figures with
+  let run_one name =
+    if !supervised then
+      ignore (Experiments.protected ~ident:name (fun () -> run_one name))
+    else run_one name
+  in
+  (match figures with
   | [] ->
     Experiments.run_all ~sizes ();
     micro_benchmarks ()
-  | figures -> List.iter run_one figures
+  | figures -> List.iter run_one figures);
+  if !supervised then begin
+    let _, _, degraded, quarantined, _ = Resil.Log.counts () in
+    if Resil.Log.events () <> [] then Format.eprintf "%a@?" Resil.Log.pp_summary ();
+    if degraded > 0 || quarantined > 0 then exit 1
+  end

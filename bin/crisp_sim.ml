@@ -6,13 +6,28 @@
      profile     print the software profiling report for a workload
      slices      print the criticality tagging for a workload
      experiments regenerate paper tables/figures
-     list        list the workload catalog *)
+     chaos       deterministic fault-injection harness over one figure
+     list        list the workload catalog
+
+   Exit codes: 0 success; 1 a check failed or the run degraded (some
+   cells timed out / crashed / were quarantined — see the stderr
+   summary); 2 usage error or internal failure. *)
 
 open Cmdliner
 
 let workload_arg =
   let doc = "Workload name (see the `list' subcommand)." in
   Arg.(value & opt string "pointer_chase" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+(* Validate names up front: `Catalog.make` raises [Not_found] deep inside
+   a run, which would surface as an opaque internal error. *)
+let require_workload name =
+  if not (List.mem name Catalog.names) then begin
+    Printf.eprintf
+      "crisp_sim: unknown workload %S (run `crisp_sim list' for the catalog)\n"
+      name;
+    exit 2
+  end
 
 let instrs_arg =
   let doc = "Dynamic micro-ops to simulate." in
@@ -56,6 +71,7 @@ let variant_of_string threshold = function
   | other -> Error other
 
 let simulate workload instrs train_instrs sched rs rob threshold =
+  require_workload workload;
   let cfg = base_config ~rs ~rob in
   let cfg =
     if sched = "random" then Cpu_config.with_policy Scheduler.Random_ready cfg else cfg
@@ -105,6 +121,7 @@ let trace_ring_arg =
   Arg.(value & opt int 65_536 & info [ "ring" ] ~docv:"N" ~doc)
 
 let trace workload instrs train_instrs sched rs rob threshold output format ring =
+  require_workload workload;
   let cfg = base_config ~rs ~rob in
   let variant =
     match variant_of_string threshold sched with
@@ -152,6 +169,7 @@ let trace workload instrs train_instrs sched rs rob threshold output format ring
     (c "mshr_retry")
 
 let profile workload instrs =
+  require_workload workload;
   let w = Catalog.make ~input:Workload.Train ~instrs workload in
   let trace = Workload.trace w in
   let r = Profiler.profile trace in
@@ -187,6 +205,7 @@ let profile workload instrs =
     branches
 
 let slices workload instrs threshold =
+  require_workload workload;
   let w = Catalog.make ~input:Workload.Train ~instrs workload in
   let artifacts =
     Fdo.analyze
@@ -222,6 +241,7 @@ let scoreboard_arg =
   Arg.(value & flag & info [ "scoreboard" ] ~doc)
 
 let check all workload instrs train_instrs with_scoreboard =
+  if not all then require_workload workload;
   let reports =
     if all then
       Check_runner.check_all ~instrs ~train_instrs ~scoreboard:with_scoreboard ()
@@ -273,28 +293,237 @@ let with_jobs jobs f =
         Exec.Pool.shutdown pool)
   end
 
-let experiments figures instrs train_instrs jobs =
+let known_figures =
+  [ "table1"; "motivating"; "fig1"; "fig3"; "fig4"; "fig7"; "fig8"; "fig9";
+    "fig10"; "fig11"; "fig12"; "ablations"; "division" ]
+
+let validate_figures figures =
+  List.iter
+    (fun fig ->
+      if not (List.mem fig known_figures) then begin
+        Printf.eprintf "crisp_sim: unknown figure %S (expected one of: %s)\n" fig
+          (String.concat ", " known_figures);
+        exit 2
+      end)
+    figures
+
+let run_figure ~sizes = function
+  | "table1" -> Experiments.table1 ()
+  | "motivating" -> ignore (Experiments.motivating ~sizes ())
+  | "fig1" -> ignore (Experiments.fig1 ~sizes ())
+  | "fig3" -> ignore (Experiments.fig3 ())
+  | "fig4" -> ignore (Experiments.fig4 ~sizes ())
+  | "fig7" -> ignore (Experiments.fig7 ~sizes ())
+  | "fig8" -> ignore (Experiments.fig8 ~sizes ())
+  | "fig9" -> ignore (Experiments.fig9 ~sizes ())
+  | "fig10" -> ignore (Experiments.fig10 ~sizes ())
+  | "fig11" -> ignore (Experiments.fig11 ~sizes ())
+  | "fig12" -> ignore (Experiments.fig12 ~sizes ())
+  | "ablations" -> ignore (Experiments.ablations ~sizes ())
+  | "division" -> ignore (Experiments.division ~sizes ())
+  | other ->
+    (* callers run [validate_figures] first *)
+    invalid_arg ("run_figure: " ^ other)
+
+let policy_of ~deadline ~retries ~seed =
+  { Resil.Supervise.default_policy with
+    Resil.Supervise.deadline;
+    retries;
+    seed }
+
+(* The journal signature ties checkpoints to the run shape: resuming
+   with different instruction budgets must recompute, not reuse. *)
+let experiments_signature ~instrs ~train_instrs =
+  Printf.sprintf "crisp experiments eval=%d train=%d" instrs train_instrs
+
+(* Print the resilience summary (stderr, so figure text on stdout stays
+   diffable) and turn degradation into exit 1. *)
+let finish_resilient_run () =
+  let _, _, degraded, quarantined, _ = Resil.Log.counts () in
+  if Resil.Log.events () <> [] then Format.eprintf "%a@?" Resil.Log.pp_summary ();
+  Experiments.set_resilience Resil.Supervise.default_policy;
+  if degraded > 0 || quarantined > 0 then exit 1
+
+let experiments figures instrs train_instrs jobs journal_path resume deadline
+    retries seed =
+  validate_figures figures;
+  if resume && journal_path = None then begin
+    Printf.eprintf "crisp_sim: --resume requires --journal FILE\n";
+    exit 2
+  end;
   with_jobs jobs @@ fun () ->
   let sizes = { Experiments.eval_instrs = instrs; train_instrs } in
-  let run_one = function
-    | "table1" -> Experiments.table1 ()
-    | "motivating" -> ignore (Experiments.motivating ~sizes ())
-    | "fig1" -> ignore (Experiments.fig1 ~sizes ())
-    | "fig3" -> ignore (Experiments.fig3 ())
-    | "fig4" -> ignore (Experiments.fig4 ~sizes ())
-    | "fig7" -> ignore (Experiments.fig7 ~sizes ())
-    | "fig8" -> ignore (Experiments.fig8 ~sizes ())
-    | "fig9" -> ignore (Experiments.fig9 ~sizes ())
-    | "fig10" -> ignore (Experiments.fig10 ~sizes ())
-    | "fig11" -> ignore (Experiments.fig11 ~sizes ())
-    | "fig12" -> ignore (Experiments.fig12 ~sizes ())
-    | "ablations" -> ignore (Experiments.ablations ~sizes ())
-    | "division" -> ignore (Experiments.division ~sizes ())
-    | other -> Printf.eprintf "unknown figure %S\n" other
+  Resil.Log.clear ();
+  let journal =
+    Option.map
+      (fun path ->
+        (* Without --resume an existing journal is a fresh start, not a
+           source of stale cells. *)
+        if (not resume) && Sys.file_exists path then Sys.remove path;
+        Resil.Journal.load ~path
+          ~signature:(experiments_signature ~instrs ~train_instrs))
+      journal_path
   in
-  match figures with
+  Experiments.set_resilience ?journal (policy_of ~deadline ~retries ~seed);
+  (match figures with
   | [] -> Experiments.run_all ~sizes ()
-  | figures -> List.iter run_one figures
+  | figures ->
+    List.iter
+      (fun fig ->
+        ignore (Experiments.protected ~ident:fig (fun () -> run_figure ~sizes fig)))
+      figures);
+  finish_resilient_run ()
+
+(* ------------------------------------------------------------------ *)
+(* chaos: the self-checking fault-injection harness.  Three passes over
+   one figure — clean reference, faulted + checkpointing, resume against
+   the surviving journal (fault counters persist, so Nth-hit faults are
+   already consumed and From-hit faults keep firing) — then a verdict:
+
+     exit 0  output identical to the reference and nothing degraded
+     exit 1  degradation happened and was fully reported (the contract)
+     exit 2  SILENT DIVERGENCE: output changed with nothing reported —
+             a resilience-property violation, or an internal error. *)
+
+let capture_stdout f =
+  let file = Filename.temp_file "crisp_chaos" ".out" in
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  Fun.protect f ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved);
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in_noerr ic;
+  Sys.remove file;
+  contents
+
+let trigger_to_string (tr : Resil.Fault_plan.trigger) =
+  let selector =
+    match tr.Resil.Fault_plan.selector with
+    | Resil.Fault_plan.Any -> ""
+    | Resil.Fault_plan.Substring s -> "@" ^ s
+    | Resil.Fault_plan.Bucket { modulus; residue } ->
+      Printf.sprintf "@bucket(%d mod %d)" residue modulus
+  in
+  let count =
+    match tr.Resil.Fault_plan.count with
+    | Resil.Fault_plan.Nth n -> Printf.sprintf "#%d" n
+    | Resil.Fault_plan.From n -> Printf.sprintf "+%d" n
+  in
+  Printf.sprintf "%s:%s%s%s" tr.Resil.Fault_plan.site
+    (Resil.Fault_plan.action_to_string tr.Resil.Fault_plan.action)
+    selector count
+
+let chaos figure seed fault_specs instrs train_instrs jobs deadline retries
+    journal_path keep_journal =
+  validate_figures [ figure ];
+  let plan =
+    match fault_specs with
+    | [] -> Resil.Fault_plan.random ~seed ()
+    | specs ->
+      Resil.Fault_plan.make
+        (List.map
+           (fun spec ->
+             match Resil.Fault_plan.parse_spec spec with
+             | Ok trigger -> trigger
+             | Error msg ->
+               Printf.eprintf "crisp_sim: %s\n" msg;
+               exit 2)
+           specs)
+  in
+  with_jobs jobs @@ fun () ->
+  let sizes = { Experiments.eval_instrs = instrs; train_instrs } in
+  let policy = policy_of ~deadline ~retries ~seed in
+  let jpath =
+    match journal_path with
+    | Some p -> p
+    | None -> Filename.temp_file "crisp_chaos" ".journal"
+  in
+  let signature =
+    Printf.sprintf "crisp chaos %s eval=%d train=%d" figure instrs train_instrs
+  in
+  let pass ~journaled () =
+    (* Each pass simulates a fresh process: cold memo, empty log.  Fault
+       counters are NOT reset between the faulted and resumed passes.
+       The journal is loaded after the log clear so load-time quarantine
+       events (corrupt checkpoints) are counted against this pass. *)
+    Runner.clear_cache ();
+    Resil.Log.clear ();
+    let journal =
+      if journaled then Some (Resil.Journal.load ~path:jpath ~signature) else None
+    in
+    Experiments.set_resilience ?journal policy;
+    capture_stdout (fun () ->
+        ignore
+          (Experiments.protected ~ident:figure (fun () -> run_figure ~sizes figure)))
+  in
+  Printf.printf "chaos: figure %s, seed %d, %d worker(s), plan:\n" figure seed
+    (Exec.Pool.parallelism (Experiments.current_pool ()));
+  List.iter
+    (fun tr -> Printf.printf "  %s\n" (trigger_to_string tr))
+    (Resil.Fault_plan.triggers plan);
+  let reference = pass ~journaled:false () in
+  if Sys.file_exists jpath then Sys.remove jpath;
+  Resil.Fault_plan.arm plan;
+  let faulted = pass ~journaled:true () in
+  let faults_b, retries_b, degraded_b, quarantined_b, _ = Resil.Log.counts () in
+  let summary_b = Format.asprintf "%a" Resil.Log.pp_summary () in
+  let resumed = pass ~journaled:true () in
+  let faults_c, retries_c, degraded_c, quarantined_c, restored_c =
+    Resil.Log.counts ()
+  in
+  let summary_c = Format.asprintf "%a" Resil.Log.pp_summary () in
+  Resil.Fault_plan.disarm ();
+  Experiments.set_resilience Resil.Supervise.default_policy;
+  Runner.clear_cache ();
+  if not keep_journal then
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      [ jpath; jpath ^ ".bad"; jpath ^ ".tmp" ];
+  let describe tag out faults retries degraded quarantined restored summary =
+    Printf.printf
+      "%s: output %s (%d bytes); %d fault(s) fired, %d retry(ies), %d \
+       degraded, %d quarantined, %d restored\n"
+      tag
+      (if out = reference then "identical to reference" else "DIVERGED")
+      (String.length out) faults retries degraded quarantined restored;
+    if summary <> "" then print_string summary
+  in
+  Printf.printf "pass 1 (clean reference): %d bytes of figure text\n"
+    (String.length reference);
+  describe "pass 2 (faulted, checkpointing)" faulted faults_b retries_b
+    degraded_b quarantined_b 0 summary_b;
+  describe "pass 3 (resumed)" resumed faults_c retries_c degraded_c
+    quarantined_c restored_c summary_c;
+  let disrupted = degraded_b + quarantined_b + degraded_c + quarantined_c in
+  let silent out degraded quarantined =
+    out <> reference && degraded + quarantined = 0
+  in
+  if silent faulted degraded_b quarantined_b
+     || silent resumed degraded_c quarantined_c
+  then begin
+    Printf.eprintf
+      "chaos: SILENT DIVERGENCE — figure output changed but no degradation \
+       was reported; resilience property violated\n";
+    exit 2
+  end
+  else if disrupted > 0 then begin
+    Printf.eprintf
+      "chaos: faults disrupted the run and every disruption was reported \
+       (%d degraded, %d quarantined)\n"
+      (degraded_b + degraded_c)
+      (quarantined_b + quarantined_c);
+    exit 1
+  end
+  else
+    Printf.printf
+      "chaos: clean — figure text byte-identical to the fault-free reference\n"
 
 let simulate_cmd =
   let info = Cmd.info "simulate" ~doc:"Run one workload on the cycle-level core." in
@@ -324,9 +553,95 @@ let slices_cmd =
   let info = Cmd.info "slices" ~doc:"Print the criticality tagging and its slices." in
   Cmd.v info Term.(const slices $ workload_arg $ instrs_arg $ threshold_arg)
 
+let journal_arg =
+  let doc =
+    "Checkpoint completed grid cells to $(docv) (atomic write-rename, \
+     checksummed).  Without $(b,--resume) an existing file is discarded."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Reuse valid checkpoints from $(b,--journal) and recompute only the \
+     missing cells.  Stale or corrupt entries are quarantined to FILE.bad \
+     and recomputed, never trusted."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let deadline_arg =
+  let doc =
+    "Per-cell wall-clock deadline in seconds (measured from the moment the \
+     cell starts on a worker).  A cell over deadline degrades to an error \
+     marker; the run continues and exits 1."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retries per crashed cell (deterministic exponential backoff with \
+     seeded jitter).  Timeouts are never retried."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Seed for backoff jitter and (in chaos) the random fault plan." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+
 let experiments_cmd =
-  let info = Cmd.info "experiments" ~doc:"Regenerate paper tables and figures." in
-  Cmd.v info Term.(const experiments $ figures_arg $ instrs_arg $ train_arg $ jobs_arg)
+  let info =
+    Cmd.info "experiments"
+      ~doc:
+        "Regenerate paper tables and figures.  Every grid cell runs as a \
+         supervised job; failing cells degrade to `--' markers and the run \
+         exits 1 with a summary instead of crashing."
+  in
+  Cmd.v info
+    Term.(
+      const experiments $ figures_arg $ instrs_arg $ train_arg $ jobs_arg
+      $ journal_arg $ resume_arg $ deadline_arg $ retries_arg $ seed_arg)
+
+let chaos_figure_arg =
+  let doc = "Figure to run under fault injection." in
+  Arg.(value & opt string "fig4" & info [ "figure" ] ~docv:"FIGURE" ~doc)
+
+let fault_arg =
+  let doc =
+    "Inject a fault (repeatable): SITE:ACTION[@SUBSTR][#N|+N] with ACTION \
+     one of crash, corrupt, stall=SECS; @SUBSTR restricts to matching cell \
+     idents; #N fires on exactly the Nth hit, +N from the Nth on (default \
+     +1).  Sites: pool.job, runner.run, memo.lookup, memo.store, \
+     journal.read, journal.write.  Without $(b,--fault) a seeded random \
+     plan is generated."
+  in
+  Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"SPEC" ~doc)
+
+let chaos_instrs_arg =
+  let doc = "Dynamic micro-ops per evaluation run (kept small: chaos runs the figure three times)." in
+  Arg.(value & opt int 20_000 & info [ "n"; "instrs" ] ~docv:"N" ~doc)
+
+let chaos_train_arg =
+  let doc = "Dynamic micro-ops profiled on the train input." in
+  Arg.(value & opt int 15_000 & info [ "train-instrs" ] ~docv:"N" ~doc)
+
+let keep_journal_arg =
+  let doc = "Keep the chaos journal (and any .bad quarantine file) on disk." in
+  Arg.(value & flag & info [ "keep-journal" ] ~doc)
+
+let chaos_cmd =
+  let info =
+    Cmd.info "chaos"
+      ~doc:
+        "Self-checking fault injection: run a figure clean, faulted with \
+         checkpointing, and resumed, then verify that the output is either \
+         byte-identical to the clean reference or every divergence was \
+         reported as degraded/quarantined.  Exit 0 clean, 1 reported \
+         degradation, 2 silent divergence (property violation)."
+  in
+  Cmd.v info
+    Term.(
+      const chaos $ chaos_figure_arg $ seed_arg $ fault_arg $ chaos_instrs_arg
+      $ chaos_train_arg $ jobs_arg $ deadline_arg $ retries_arg $ journal_arg
+      $ keep_journal_arg)
 
 let check_instrs_arg =
   let doc = "Dynamic micro-ops for the ref-input lint/scoreboard context." in
@@ -358,8 +673,18 @@ let () =
     Cmd.info "crisp_sim" ~version:"1.0.0"
       ~doc:"CRISP critical-slice prefetching: simulator and analysis tools"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ simulate_cmd; trace_cmd; profile_cmd; slices_cmd; experiments_cmd;
-            check_cmd; list_cmd ]))
+  let group =
+    Cmd.group info
+      [ simulate_cmd; trace_cmd; profile_cmd; slices_cmd; experiments_cmd;
+        chaos_cmd; check_cmd; list_cmd ]
+  in
+  (* ~catch:false so an uncaught exception reaches our handler: one line
+     on stderr and exit 2 (internal error), never a bare backtrace.
+     ~term_err:2 folds cmdliner's own CLI errors (unknown flags, bad
+     values) onto the same exit code, keeping 1 reserved for "the run
+     degraded / a check failed". *)
+  match Cmd.eval ~catch:false ~term_err:2 group with
+  | code -> exit code
+  | exception exn ->
+    Printf.eprintf "crisp_sim: internal error: %s\n" (Printexc.to_string exn);
+    exit 2

@@ -27,6 +27,33 @@ val set_pool : Exec.Pool.t -> unit
 
 val current_pool : unit -> Exec.Pool.t
 
+type resilience = {
+  policy : Resil.Supervise.policy;
+  journal : Resil.Journal.t option;
+}
+
+val set_resilience : ?journal:Resil.Journal.t -> Resil.Supervise.policy -> unit
+(** Install the supervision policy (deadline / retries / backoff seed)
+    applied to every grid cell, and optionally a checkpoint journal.
+    With a journal, each completed cell is recorded (atomically) under
+    its stable ident ["TAG/APP/COL"], cells with a valid checkpoint are
+    restored instead of recomputed (logged as [Restored]), and a killed
+    run resumed against the same journal recomputes only the missing
+    cells.  The default is {!Resil.Supervise.default_policy} and no
+    journal.
+
+    A cell whose job times out, exhausts its retries or is quarantined
+    resolves to the figure's degraded marker (NaN — rendered as ["--"]
+    by {!Report}) and is recorded in {!Resil.Log}; callers decide the
+    exit code from {!Resil.Log.counts}. *)
+
+val current_resilience : unit -> resilience
+
+val protected : ident:string -> (unit -> 'a) -> 'a option
+(** Run a whole figure, catching any exception into a [Degraded] log
+    entry and an explicit marker line instead of propagating — the
+    wrapper {!run_all} uses around every step. *)
+
 val apps : string list
 (** The 16 applications of Figures 4 and 7-12 (SPEC proxies, Xhpcg,
     TailBench proxies); the pointer-chase microbenchmark appears only in

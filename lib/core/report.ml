@@ -7,13 +7,21 @@ let print_header ~title ~header ~width =
   List.iter (fun h -> Printf.printf " %12s" h) header;
   print_newline ()
 
+(* A NaN cell is a degraded cell (its job timed out, crashed or was
+   quarantined): render an explicit marker instead of "nan" so figures
+   from a faulted run are readable, and keep it out of aggregates. *)
+
 let print_table ~title ~header rows =
   let width = label_width rows in
   print_header ~title ~header ~width;
   List.iter
     (fun (label, values) ->
       Printf.printf "%-*s" width label;
-      List.iter (fun v -> Printf.printf " %12.2f" v) values;
+      List.iter
+        (fun v ->
+          if Float.is_nan v then Printf.printf " %12s" "--"
+          else Printf.printf " %12.2f" v)
+        values;
       print_newline ())
     rows
 
@@ -23,20 +31,31 @@ let print_percent_table ~title ~header rows =
   List.iter
     (fun (label, values) ->
       Printf.printf "%-*s" width label;
-      List.iter (fun v -> Printf.printf " %+11.1f%%" (100. *. v)) values;
+      List.iter
+        (fun v ->
+          if Float.is_nan v then Printf.printf " %12s" "--"
+          else Printf.printf " %+11.1f%%" (100. *. v))
+        values;
       print_newline ())
     rows
 
 let print_bars ~title rows =
   Printf.printf "\n== %s ==\n" title;
   let width = label_width rows in
-  let maximum = List.fold_left (fun m (_, v) -> Float.max m v) 0. rows in
+  let maximum =
+    List.fold_left
+      (fun m (_, v) -> if Float.is_nan v then m else Float.max m v)
+      0. rows
+  in
   List.iter
     (fun (label, v) ->
-      let bar_len =
-        if maximum <= 0. then 0 else int_of_float (40. *. v /. maximum)
-      in
-      Printf.printf "%-*s %10.2f |%s\n" width label v (String.make (max 0 bar_len) '#'))
+      if Float.is_nan v then Printf.printf "%-*s %10s |\n" width label "--"
+      else
+        let bar_len =
+          if maximum <= 0. then 0 else int_of_float (40. *. v /. maximum)
+        in
+        Printf.printf "%-*s %10.2f |%s\n" width label v
+          (String.make (max 0 bar_len) '#'))
     rows
 
 let print_series ~title series =

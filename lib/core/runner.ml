@@ -10,9 +10,37 @@ type outcome = {
   artifacts : Fdo.artifacts option;
 }
 
-let cache : (string, outcome) Exec.Memo.t = Exec.Memo.create ~size_hint:64 ()
+(* Cached outcomes carry an integrity seal: when a fault plan is armed,
+   [repr] holds the marshalled outcome as it passed the "memo.store"
+   data site and [fingerprint] the digest of the bytes *before* that
+   point, so an injected corruption is detected at lookup instead of
+   leaking a silently-wrong figure.  When no plan is armed both fields
+   are empty and the seal costs nothing. *)
+type sealed = {
+  outcome : outcome;
+  repr : string;
+  fingerprint : string;
+}
+
+let cache : (string, sealed) Exec.Memo.t = Exec.Memo.create ~size_hint:64 ()
 
 let clear_cache () = Exec.Memo.clear cache
+
+let seal ~ident outcome =
+  if not (Resil.Fault_plan.armed ()) then { outcome; repr = ""; fingerprint = "" }
+  else
+    let repr = Marshal.to_string outcome [ Marshal.Closures ] in
+    let fingerprint = Digest.to_hex (Digest.string repr) in
+    let repr = Resil.Fault_plan.mangle ~ident "memo.store" repr in
+    { outcome; repr; fingerprint }
+
+let unseal ~ident sealed =
+  if sealed.fingerprint = "" then Some sealed.outcome
+  else
+    let repr = Resil.Fault_plan.mangle ~ident "memo.lookup" sealed.repr in
+    if Digest.to_hex (Digest.string repr) = sealed.fingerprint then
+      Some sealed.outcome
+    else None
 
 let cache_key ~cfg ~eval_instrs ~train_instrs ~name variant =
   (* Every component must be plain data (no closures, no custom blocks) so
@@ -60,8 +88,35 @@ let run_variant ?tracer ~cfg ~eval_instrs ~train_instrs ~name variant =
 let evaluate ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
     ?(train_instrs = 150_000) ~name variant =
   let key = cache_key ~cfg ~eval_instrs ~train_instrs ~name variant in
-  Exec.Memo.find_or_run cache key (fun () ->
-      run_variant ~cfg ~eval_instrs ~train_instrs ~name variant)
+  (* The injection ident is per cache entry (name for substring
+     selectors, key prefix for uniqueness), so Nth-hit triggers count
+     each entry independently — deterministic under work stealing. *)
+  let ident = Printf.sprintf "%s/%s" name (String.sub (Digest.to_hex key) 0 8) in
+  let compute () =
+    Resil.Fault_plan.hit ~ident "runner.run";
+    seal ~ident (run_variant ~cfg ~eval_instrs ~train_instrs ~name variant)
+  in
+  let rec attempt budget =
+    let sealed = Exec.Memo.find_or_run cache key compute in
+    match unseal ~ident sealed with
+    | Some outcome -> outcome
+    | None ->
+      Exec.Memo.remove cache key;
+      Resil.Log.record
+        (Resil.Log.Quarantined
+           { ident;
+             reason =
+               "memoised outcome failed its integrity check; evicted and \
+                recomputed" });
+      if budget <= 0 then
+        raise
+          (Resil.Supervise.Quarantined_failure
+             (Printf.sprintf
+                "memo entry %s kept failing its integrity check after recomputation"
+                ident))
+      else attempt (budget - 1)
+  in
+  attempt 2
 
 let traced ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
     ?(train_instrs = 150_000) ?tracer ~name variant =

@@ -40,7 +40,15 @@ val evaluate :
 (** [evaluate ~name variant] returns the evaluation-run statistics for the
     named workload.  Results are cached on (name, sizes, config, variant).
     The CRISP variants profile on the [Train] input and evaluate on [Ref]
-    (Section 5.1); IBDA learns online during the evaluation run itself. *)
+    (Section 5.1); IBDA learns online during the evaluation run itself.
+
+    Fault-injection sites (inert unless a {!Resil.Fault_plan} is armed):
+    ["runner.run"] at cache-miss computation, ["memo.store"] /
+    ["memo.lookup"] around the integrity-sealed memo entry.  A cached
+    entry whose integrity check fails is evicted, logged as quarantined
+    and recomputed (bounded); if recomputation keeps failing the call
+    raises {!Resil.Supervise.Quarantined_failure} — a corrupt result is
+    never returned. *)
 
 val traced :
   ?cfg:Cpu_config.t ->

@@ -48,6 +48,13 @@ let find_opt t key =
   Mutex.unlock t.mutex;
   r
 
+let remove t key =
+  Mutex.lock t.mutex;
+  (match Hashtbl.find_opt t.table key with
+  | Some (Ready _) -> Hashtbl.remove t.table key
+  | Some (In_flight _) | None -> ());
+  Mutex.unlock t.mutex
+
 let clear t =
   Mutex.lock t.mutex;
   (* Keep in-flight entries: their computations will still publish, and

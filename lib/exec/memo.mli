@@ -20,6 +20,11 @@ val find_or_run : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 val find_opt : ('k, 'v) t -> 'k -> 'v option
 (** Completed entries only; never blocks on an in-flight computation. *)
 
+val remove : ('k, 'v) t -> 'k -> unit
+(** Evict a completed entry (e.g. one whose integrity check failed) so
+    the next request recomputes it.  An in-flight entry is left alone:
+    its computation will still publish to current waiters. *)
+
 val clear : ('k, 'v) t -> unit
 (** Drop completed entries.  In-flight computations are left to finish and
     publish; they were keyed before the clear and will be recomputed on

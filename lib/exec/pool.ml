@@ -1,10 +1,14 @@
 type job = unit -> unit
 
+exception Shut_down
+
 type pooled = {
   deques : job Ws_queue.t array;
   ids : Domain.id option Atomic.t array;  (* worker i's domain id, set at startup *)
   inject : job Inject.t;
   pending : int Atomic.t;  (* jobs enqueued anywhere but not yet started *)
+  aborted : bool Atomic.t;  (* shutdown ~drain:false: queued jobs are discarded *)
+  shut : int Atomic.t;  (* 0 running, 1 closing (one caller joins), 2 closed *)
   mutable domains : unit Domain.t array;
 }
 
@@ -83,6 +87,8 @@ let create ?(workers = Domain.recommended_domain_count ()) () =
         ids = Array.init workers (fun _ -> Atomic.make None);
         inject = Inject.create ();
         pending = Atomic.make 0;
+        aborted = Atomic.make false;
+        shut = Atomic.make 0;
         domains = [||] }
     in
     p.domains <- Array.init workers (fun i -> Domain.spawn (fun () -> worker_loop p i));
@@ -123,9 +129,15 @@ let submit t f =
   | Pooled p ->
     let fut = Future.create () in
     let job () =
-      match f () with
-      | v -> Future.fulfill fut v
-      | exception exn -> Future.fail fut exn (Printexc.get_raw_backtrace ())
+      (* An aborted pool still drains its queues, but each queued job
+         resolves its future with Shut_down instead of running the
+         thunk, so every awaiter gets a clean raise, never a deadlock. *)
+      if Atomic.get p.aborted then
+        Future.fail fut Shut_down (Printexc.get_callstack 0)
+      else
+        match f () with
+        | v -> Future.fulfill fut v
+        | exception exn -> Future.fail fut exn (Printexc.get_raw_backtrace ())
     in
     enqueue p job;
     fut
@@ -168,10 +180,24 @@ let map_list t f xs =
     let futures = List.map (fun x -> submit t (fun () -> f x)) xs in
     List.map (await t) futures
 
-let shutdown = function
+let shutdown ?(drain = true) t =
+  match t with
   | Sequential -> ()
   | Pooled p ->
-    if not (Inject.is_closed p.inject) then begin
+    if not drain then begin
+      Atomic.set p.aborted true;
+      (* Parked workers must re-check: their queued jobs now short-circuit. *)
+      Inject.wake_all p.inject
+    end;
+    (* Exactly one caller closes and joins; concurrent or repeated calls
+       wait for it to finish, so shutdown is idempotent and never joins
+       a domain twice. *)
+    if Atomic.compare_and_set p.shut 0 1 then begin
       Inject.close p.inject;
-      Array.iter Domain.join p.domains
+      Array.iter Domain.join p.domains;
+      Atomic.set p.shut 2
     end
+    else
+      while Atomic.get p.shut < 2 do
+        Domain.cpu_relax ()
+      done

@@ -14,6 +14,10 @@
 
 type t
 
+exception Shut_down
+(** Raised by {!await} (via the job's future) when the pool was shut down
+    with [~drain:false] before the job ever started running. *)
+
 val sequential : t
 (** The [--jobs 1] escape hatch: no domains, no queues — {!submit} runs
     the thunk inline on the calling domain and returns a resolved future,
@@ -40,6 +44,12 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Submit one job per element and await them all; results keep the input
     order.  On {!sequential} this is exactly [List.map]. *)
 
-val shutdown : t -> unit
-(** Drain remaining jobs, stop and join every worker domain.  Idempotent.
-    Submitting after shutdown raises. *)
+val shutdown : ?drain:bool -> t -> unit
+(** Stop and join every worker domain.  With [~drain:true] (the default)
+    queued jobs run to completion first; with [~drain:false] jobs that
+    have not started are discarded and their futures fail with
+    {!Shut_down}, so an {!await} on a never-started job raises cleanly
+    instead of deadlocking.  Idempotent, and safe to call from several
+    domains at once: exactly one caller performs the join, the others
+    block until it completes.  Submitting after shutdown raises
+    [Invalid_argument]. *)

@@ -1,0 +1,19 @@
+type params = {
+  base : float;
+  factor : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default = { base = 0.05; factor = 2.0; max_delay = 1.0; jitter = 0.25 }
+
+let delay params ~seed ~ident ~attempt =
+  let nominal =
+    Float.min (params.base *. (params.factor ** float_of_int attempt)) params.max_delay
+  in
+  let st = Random.State.make [| 0x6ba0; seed; Hashtbl.hash ident; attempt |] in
+  let u = Random.State.float st 1.0 in
+  Float.max 0. (nominal *. (1. +. (params.jitter *. (u -. 0.5))))
+
+let schedule params ~seed ~ident ~attempts =
+  List.init attempts (fun attempt -> delay params ~seed ~ident ~attempt)

@@ -1,0 +1,11 @@
+let high_water = Atomic.make neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  let rec publish () =
+    let prev = Atomic.get high_water in
+    if t <= prev then prev
+    else if Atomic.compare_and_set high_water prev t then t
+    else publish ()
+  in
+  publish ()

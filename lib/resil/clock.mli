@@ -1,0 +1,11 @@
+(** Monotonicised wall clock for watchdog deadlines.
+
+    [Unix.gettimeofday] can step backwards (NTP adjustments); a deadline
+    computed against a clock that moves backwards can fire spuriously or
+    never.  {!now} publishes the wall clock through a compare-and-set
+    high-water mark shared by all domains, so successive reads — from any
+    domain — never decrease. *)
+
+val now : unit -> float
+(** Seconds since the epoch, guaranteed non-decreasing across all domains
+    of this process. *)

@@ -1,0 +1,170 @@
+let version = 1
+
+type entry = {
+  payload : string;  (* the validated truth, served by [find] *)
+  stored : string;  (* what goes to disk: payload after the journal.write
+                       mangle point — normally identical *)
+}
+
+type t = {
+  path : string;
+  signature : string;
+  sig_digest : string;
+  mutex : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable quarantined : int;
+}
+
+let path t = t.path
+let signature t = t.signature
+
+let bad_path path = path ^ ".bad"
+let tmp_path path = path ^ ".tmp"
+
+let header_line sig_digest = Printf.sprintf "crisp-journal %d %s" version sig_digest
+
+let sanitize_key key =
+  String.map (fun c -> if c = ' ' || c = '\t' || c = '\n' || c = '\r' then '_' else c) key
+
+let hex_encode s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else
+    let nibble c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let b = Bytes.create (n / 2) in
+    let rec fill i =
+      if i >= n then Some (Bytes.to_string b)
+      else
+        match (nibble s.[i], nibble s.[i + 1]) with
+        | Some hi, Some lo ->
+          Bytes.set b (i / 2) (Char.chr ((hi lsl 4) lor lo));
+          fill (i + 2)
+        | _ -> None
+    in
+    fill 0
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock t.mutex)
+
+let quarantine_lines t lines reason_key reason =
+  (try
+     let oc = open_out_gen [ Open_append; Open_creat ] 0o644 (bad_path t.path) in
+     List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+     close_out_noerr oc
+   with Sys_error _ -> ());
+  t.quarantined <- t.quarantined + 1;
+  Log.record (Log.Quarantined { ident = reason_key; reason })
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let load_entry t line =
+  match String.split_on_char ' ' line with
+  | [ key; digest_hex; payload_hex ] -> (
+    match hex_decode payload_hex with
+    | None ->
+      quarantine_lines t [ line ] key "journal entry payload is not hex; quarantined"
+    | Some raw ->
+      let payload = Fault_plan.mangle ~ident:key "journal.read" raw in
+      if Digest.to_hex (Digest.string payload) = digest_hex then
+        Hashtbl.replace t.entries key { payload; stored = payload }
+      else
+        quarantine_lines t [ line ] key
+          "journal entry failed its checksum; quarantined and recomputed")
+  | _ ->
+    if String.trim line <> "" then
+      quarantine_lines t [ line ] "journal" "unparsable journal line; quarantined"
+
+let load ~path ~signature =
+  let sig_digest = Digest.to_hex (Digest.string signature) in
+  let t =
+    { path;
+      signature;
+      sig_digest;
+      mutex = Mutex.create ();
+      entries = Hashtbl.create 64;
+      quarantined = 0 }
+  in
+  (if Sys.file_exists path then
+     match read_lines path with
+     | exception Sys_error reason ->
+       Log.record (Log.Quarantined { ident = path; reason = "journal unreadable: " ^ reason });
+       t.quarantined <- t.quarantined + 1
+     | [] ->
+       (try Sys.rename path (bad_path path) with Sys_error _ -> ());
+       t.quarantined <- t.quarantined + 1;
+       Log.record (Log.Quarantined { ident = path; reason = "empty journal file; moved to .bad" })
+     | header :: rest ->
+       if header <> header_line sig_digest then begin
+         (try Sys.rename path (bad_path path) with Sys_error _ -> ());
+         t.quarantined <- t.quarantined + 1;
+         Log.record
+           (Log.Quarantined
+              { ident = path;
+                reason =
+                  "journal header mismatch (stale run signature or corrupt file); \
+                   moved to .bad" })
+       end
+       else List.iter (load_entry t) rest);
+  t
+
+(* Rewrite the whole journal through tmp + rename.  Keys are written in
+   sorted order so the on-disk bytes are a pure function of the
+   contents. *)
+let flush_locked t =
+  let tmp = tmp_path t.path in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (header_line t.sig_digest ^ "\n");
+     let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] in
+     List.iter
+       (fun key ->
+         let e = Hashtbl.find t.entries key in
+         output_string oc
+           (Printf.sprintf "%s %s %s\n" key
+              (Digest.to_hex (Digest.string e.payload))
+              (hex_encode e.stored)))
+       (List.sort compare keys);
+     close_out oc
+   with exn ->
+     close_out_noerr oc;
+     raise exn);
+  Sys.rename tmp t.path
+
+let record t ~key ~payload =
+  let key = sanitize_key key in
+  locked t (fun () ->
+      (* The digest is taken on the true payload *before* the write-site
+         mangle point, so an injected corruption is detectable on load. *)
+      let stored = Fault_plan.mangle ~ident:key "journal.write" payload in
+      Hashtbl.replace t.entries key { payload; stored };
+      flush_locked t)
+
+let find t key =
+  let key = sanitize_key key in
+  locked t (fun () ->
+      Option.map (fun e -> e.payload) (Hashtbl.find_opt t.entries key))
+
+let size t = locked t (fun () -> Hashtbl.length t.entries)
+let quarantined t = t.quarantined

@@ -1,0 +1,59 @@
+(** Versioned, checksummed on-disk journal of completed grid cells —
+    the checkpoint behind [crisp_sim experiments --resume].
+
+    {2 Format}
+
+    A text file: a header line [crisp-journal VERSION SIG] (where SIG is
+    the digest of the caller's signature string — format version, grid
+    sizes, anything that must match for old entries to be reusable),
+    then one line per entry: [KEY DIGEST HEX-PAYLOAD], where DIGEST is
+    the MD5 of the {e payload} (not of the hex encoding).
+
+    {2 Trust policy}
+
+    Nothing read from disk is trusted:
+    - a header mismatch (foreign file, older version, different sizes)
+      quarantines the {e whole file} to [PATH.bad] and starts empty;
+    - an entry that fails to parse, to hex-decode, or whose digest does
+      not match its payload is appended to [PATH.bad] and dropped — the
+      cell is simply recomputed;
+    - every quarantine is recorded in {!Log} so the run reports it.
+
+    {2 Atomicity}
+
+    {!record} rewrites the whole file through a [PATH.tmp] +
+    [rename(2)] pair, so a SIGKILL at any instant leaves either the old
+    complete journal or the new complete journal, never a torn one.  A
+    leftover [.tmp] from a kill is ignored and overwritten.
+
+    Fault-injection sites: ["journal.write"] mangles the payload bytes
+    written for an entry (the digest is computed on the true payload
+    first, so corruption is {e detectable} on the next load);
+    ["journal.read"] mangles payload bytes as they are read.  Both are
+    inert when no plan is armed. *)
+
+type t
+
+val load : path:string -> signature:string -> t
+(** Open (or create the in-memory image of) the journal at [path].  A
+    missing file is an empty journal; an unreadable, stale or corrupt
+    one is quarantined as described above. *)
+
+val path : t -> string
+val signature : t -> string
+
+val find : t -> string -> string option
+(** The validated payload recorded for a key, if any. *)
+
+val record : t -> key:string -> payload:string -> unit
+(** Insert (or replace) an entry and atomically rewrite the file.
+    Whitespace in [key] is replaced by ['_'].
+    @raise Fault_plan.Injected when an armed [Throw] trigger fires at
+    the ["journal.write"] site (callers treat a failed checkpoint as a
+    quarantine, not a fatal error). *)
+
+val size : t -> int
+(** Validated entries currently held. *)
+
+val quarantined : t -> int
+(** Entries (or whole files) quarantined while loading this journal. *)

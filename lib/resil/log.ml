@@ -1,0 +1,67 @@
+type event =
+  | Fault_fired of { site : string; ident : string; action : string }
+  | Retry of { ident : string; attempt : int; delay : float; cause : string }
+  | Degraded of { ident : string; error : string }
+  | Quarantined of { ident : string; reason : string }
+  | Restored of { ident : string }
+
+let mutex = Mutex.create ()
+let events_rev : event list ref = ref []
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock mutex)
+
+let record ev = locked (fun () -> events_rev := ev :: !events_rev)
+let events () = locked (fun () -> List.rev !events_rev)
+let clear () = locked (fun () -> events_rev := [])
+
+let ident_of = function
+  | Fault_fired { ident; _ }
+  | Retry { ident; _ }
+  | Degraded { ident; _ }
+  | Quarantined { ident; _ }
+  | Restored { ident } -> ident
+
+let by_ident () =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun ev ->
+      let id = ident_of ev in
+      Hashtbl.replace tbl id (ev :: (try Hashtbl.find tbl id with Not_found -> [])))
+    (events ());
+  Hashtbl.fold (fun id evs acc -> (id, List.rev evs) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counts () =
+  List.fold_left
+    (fun (f, r, d, q, s) -> function
+      | Fault_fired _ -> (f + 1, r, d, q, s)
+      | Retry _ -> (f, r + 1, d, q, s)
+      | Degraded _ -> (f, r, d + 1, q, s)
+      | Quarantined _ -> (f, r, d, q + 1, s)
+      | Restored _ -> (f, r, d, q, s + 1))
+    (0, 0, 0, 0, 0) (events ())
+
+let pp_event ppf = function
+  | Fault_fired { site; ident; action } ->
+    Format.fprintf ppf "fault %s at %s (%s)" action site ident
+  | Retry { ident; attempt; delay; cause } ->
+    Format.fprintf ppf "retry #%d of %s after %.3fs (%s)" attempt ident delay cause
+  | Degraded { ident; error } -> Format.fprintf ppf "DEGRADED %s: %s" ident error
+  | Quarantined { ident; reason } ->
+    Format.fprintf ppf "quarantined %s: %s" ident reason
+  | Restored { ident } -> Format.fprintf ppf "restored %s from journal" ident
+
+let pp_summary ppf () =
+  let faults, retries, degraded, quarantined, restored = counts () in
+  Format.fprintf ppf
+    "resilience: %d fault(s) fired, %d retry(ies), %d cell(s) restored from \
+     journal, %d quarantined, %d degraded@."
+    faults retries restored quarantined degraded;
+  List.iter
+    (fun ev ->
+      match ev with
+      | Degraded _ | Quarantined _ -> Format.fprintf ppf "  %a@." pp_event ev
+      | Fault_fired _ | Retry _ | Restored _ -> ())
+    (events ())

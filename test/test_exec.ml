@@ -280,6 +280,97 @@ let test_pool_shutdown_rejects_submit () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* Abort shutdown (~drain:false): queued jobs that never started must
+   fail their futures with [Shut_down] so awaiters raise cleanly instead
+   of deadlocking.  Both workers are parked on a gate while the jobs
+   queue up, the aborting shutdown runs from another domain, and only
+   then does the gate open. *)
+let test_pool_abort_shutdown_fails_queued_jobs () =
+  let pool = Pool.create ~workers:2 () in
+  let gate = Atomic.make false in
+  let started = Atomic.make 0 in
+  let blockers =
+    List.init 2 (fun _ ->
+        Pool.submit pool (fun () ->
+            Atomic.incr started;
+            while not (Atomic.get gate) do
+              Domain.cpu_relax ()
+            done;
+            0))
+  in
+  (* Both workers are provably inside a blocker before anything else is
+     queued, so no queued job can start before the gate opens. *)
+  while Atomic.get started < 2 do
+    Domain.cpu_relax ()
+  done;
+  let queued = List.init 64 (fun i -> Pool.submit pool (fun () -> i)) in
+  let stopper = Domain.spawn (fun () -> Pool.shutdown ~drain:false pool) in
+  (* An abort-shutdown sets the abort flag before closing the injection
+     queue, so once submission is refused the flag is visibly set; only
+     then release the workers to drain (and discard) the queue. *)
+  let rec await_close () =
+    match Pool.submit pool (fun () -> -1) with
+    | (_ : int Exec.Future.t) ->
+      Domain.cpu_relax ();
+      await_close ()
+    | exception Invalid_argument _ -> ()
+  in
+  await_close ();
+  Atomic.set gate true;
+  let aborted = ref 0 and ran = ref 0 in
+  List.iter
+    (fun fut ->
+      match Pool.await pool fut with
+      | _ -> incr ran
+      | exception Pool.Shut_down -> incr aborted)
+    queued;
+  Domain.join stopper;
+  check int "every queued job resolved one way" 64 (!aborted + !ran);
+  check bool "abort flag was set before the gate opened" true (!aborted = 64);
+  check bool "started jobs still complete" true
+    (List.for_all (fun f -> Pool.await pool f = 0) blockers);
+  (* Shutdown stays idempotent after an abort. *)
+  Pool.shutdown pool;
+  Pool.shutdown ~drain:false pool
+
+(* Several domains race to shut the same pool down while jobs are in
+   flight: exactly one performs the join, the others wait for it, and
+   every submitted job still resolves (drain semantics). *)
+let test_pool_concurrent_shutdown () =
+  for _ = 1 to 20 do
+    let pool = Pool.create ~workers:2 () in
+    let futs = List.init 200 (fun i -> Pool.submit pool (fun () -> i)) in
+    let shutters =
+      List.init 4 (fun _ -> Domain.spawn (fun () -> Pool.shutdown pool))
+    in
+    Pool.shutdown pool;
+    List.iter Domain.join shutters;
+    check bool "all jobs completed despite racing shutdowns" true
+      (List.mapi (fun i f -> Pool.await pool f = i) futs |> List.for_all Fun.id)
+  done
+
+(* Shutdown-during-await stress: the awaiting domain must come back with
+   either the value or [Shut_down] — never hang — whichever way the race
+   between job execution and the aborting shutdown goes. *)
+let test_pool_shutdown_during_await_stress () =
+  for _ = 1 to 50 do
+    let pool = Pool.create ~workers:2 () in
+    let futs =
+      List.init 32 (fun i ->
+          Pool.submit pool (fun () ->
+              if i land 3 = 0 then Domain.cpu_relax ();
+              i))
+    in
+    let stopper = Domain.spawn (fun () -> Pool.shutdown ~drain:false pool) in
+    List.iteri
+      (fun i fut ->
+        match Pool.await pool fut with
+        | v -> check int "value intact when the job won the race" i v
+        | exception Pool.Shut_down -> ())
+      futs;
+    Domain.join stopper
+  done
+
 let test_pool_map_list () =
   let pool = Pool.create ~workers:3 () in
   let squares = Pool.map_list pool (fun x -> x * x) (List.init 100 Fun.id) in
@@ -389,6 +480,12 @@ let () =
           Alcotest.test_case "sequential-escape-hatch" `Quick
             test_pool_sequential_escape_hatch;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects_submit;
+          Alcotest.test_case "abort-shutdown-fails-queued" `Quick
+            test_pool_abort_shutdown_fails_queued_jobs;
+          Alcotest.test_case "concurrent-shutdown" `Slow
+            test_pool_concurrent_shutdown;
+          Alcotest.test_case "shutdown-during-await-stress" `Slow
+            test_pool_shutdown_during_await_stress;
           Alcotest.test_case "map_list" `Quick test_pool_map_list ] );
       ( "memo",
         [ Alcotest.test_case "in-flight-dedup" `Slow test_memo_in_flight_dedup;

@@ -1,0 +1,592 @@
+(* Tests for the resilience layer: deterministic backoff, fault plans,
+   supervised jobs with timeout/retry, the checksummed checkpoint
+   journal, integrity-sealed memoisation in Runner, and the end-to-end
+   property that a faulted figure grid is byte-identical across worker
+   counts with every divergence reported. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let floats = Alcotest.float 1e-12
+
+(* Every test leaves the global fault-injection and resilience state
+   clean, whatever happens. *)
+let isolated f () =
+  Fun.protect f ~finally:(fun () ->
+      Resil.Fault_plan.disarm ();
+      Resil.Log.clear ();
+      Experiments.set_resilience Resil.Supervise.default_policy;
+      Experiments.set_pool Exec.Pool.sequential;
+      Runner.clear_cache ())
+
+(* ---------------- Clock / Backoff ---------------- *)
+
+let test_clock_monotone () =
+  let rec go n last =
+    if n > 0 then begin
+      let t = Resil.Clock.now () in
+      check bool "non-decreasing" true (t >= last);
+      go (n - 1) t
+    end
+  in
+  go 1000 (Resil.Clock.now ())
+
+let test_backoff_deterministic () =
+  let p = Resil.Backoff.default in
+  let d1 = Resil.Backoff.delay p ~seed:7 ~ident:"fig7/mcf/0" ~attempt:2 in
+  let d2 = Resil.Backoff.delay p ~seed:7 ~ident:"fig7/mcf/0" ~attempt:2 in
+  check floats "same inputs, same delay" d1 d2;
+  let other = Resil.Backoff.delay p ~seed:8 ~ident:"fig7/mcf/0" ~attempt:2 in
+  check bool "seed changes the jitter" true (Float.abs (d1 -. other) > 1e-9);
+  let sched = Resil.Backoff.schedule p ~seed:7 ~ident:"x" ~attempts:12 in
+  check int "schedule length" 12 (List.length sched);
+  let bound = p.Resil.Backoff.max_delay *. (1. +. p.Resil.Backoff.jitter) in
+  List.iter
+    (fun d -> check bool "0 <= delay <= jittered cap" true (d >= 0. && d <= bound))
+    sched;
+  (* the nominal component grows until the cap *)
+  check bool "later attempts back off more" true
+    (List.nth sched 3 > List.nth sched 0)
+
+(* ---------------- Fault_plan ---------------- *)
+
+let parse_ok spec =
+  match Resil.Fault_plan.parse_spec spec with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "spec %S rejected: %s" spec msg
+
+let test_parse_spec () =
+  let open Resil.Fault_plan in
+  (match parse_ok "runner.run:crash+1@mcf" with
+  | { site = "runner.run"; selector = Substring "mcf"; count = From 1;
+      action = Throw } -> ()
+  | _ -> Alcotest.fail "crash+1@mcf misparsed");
+  (match parse_ok "journal.write:corrupt#1" with
+  | { site = "journal.write"; selector = Any; count = Nth 1; action = Corrupt }
+    -> ()
+  | _ -> Alcotest.fail "corrupt#1 misparsed");
+  (* count and selector accepted in either order *)
+  (match parse_ok "runner.run:stall=2@mcf#1" with
+  | { site = "runner.run"; selector = Substring "mcf"; count = Nth 1;
+      action = Stall s } ->
+    check floats "stall seconds" 2.0 s
+  | _ -> Alcotest.fail "stall=2@mcf#1 misparsed");
+  (match parse_ok "runner.run:stall=2#1@mcf" with
+  | { selector = Substring "mcf"; count = Nth 1; action = Stall _; _ } -> ()
+  | _ -> Alcotest.fail "stall=2#1@mcf misparsed");
+  (match parse_ok "pool.job:stall" with
+  | { action = Stall s; _ } -> check floats "bare stall is 1s" 1.0 s
+  | _ -> Alcotest.fail "bare stall misparsed");
+  let rejected spec =
+    match Resil.Fault_plan.parse_spec spec with
+    | Ok _ -> Alcotest.failf "spec %S wrongly accepted" spec
+    | Error _ -> ()
+  in
+  rejected "no-colon";
+  rejected "site:frobnicate";
+  rejected "site:crash#0";
+  rejected "site:crash#x";
+  rejected ":crash";
+  rejected "site:stall=abc"
+
+let test_fault_plan_firing () =
+  let open Resil.Fault_plan in
+  let plan =
+    make
+      [ { site = "runner.run"; selector = Substring "mcf"; count = Nth 2;
+          action = Throw } ]
+  in
+  arm plan;
+  (* first hit of the matching ident: armed but not yet the 2nd hit *)
+  hit ~ident:"fig7/mcf/0" "runner.run";
+  (* non-matching idents never trip it *)
+  for _ = 1 to 5 do
+    hit ~ident:"fig7/namd/0" "runner.run"
+  done;
+  (* other sites keep their own counters *)
+  hit ~ident:"fig7/mcf/0" "pool.job";
+  check bool "second hit of the armed ident throws" true
+    (match hit ~ident:"fig7/mcf/0" "runner.run" with
+    | () -> false
+    | exception Injected "runner.run" -> true
+    | exception _ -> false);
+  check int "per-ident counter" 2 (hits ~ident:"fig7/mcf/0" "runner.run");
+  check int "sibling ident unaffected" 5 (hits ~ident:"fig7/namd/0" "runner.run");
+  (match fired () with
+  | [ ("runner.run", "fig7/mcf/0", Throw) ] -> ()
+  | l -> Alcotest.failf "fired log has %d entries" (List.length l));
+  disarm ();
+  (* disarmed sites are inert no-ops *)
+  hit ~ident:"fig7/mcf/0" "runner.run"
+
+let test_mangle_deterministic () =
+  let open Resil.Fault_plan in
+  arm
+    (make
+       [ { site = "journal.write"; selector = Any; count = From 1;
+           action = Corrupt } ]);
+  let payload = "some checkpoint payload bytes" in
+  let a = mangle ~ident:"k" "journal.write" payload in
+  let b = mangle ~ident:"k" "journal.write" payload in
+  check bool "corruption changes the payload" true (a <> payload);
+  check Alcotest.string "corruption is a pure function of the input" a b;
+  check Alcotest.string "other sites pass through" payload
+    (mangle ~ident:"k" "journal.read" payload);
+  disarm ();
+  check Alcotest.string "disarmed mangle is identity" payload
+    (mangle ~ident:"k" "journal.write" payload)
+
+(* ---------------- Supervise ---------------- *)
+
+let seq_policy = Resil.Supervise.default_policy
+
+let test_supervise_ok_and_crash () =
+  let pool = Exec.Pool.sequential in
+  (match Resil.Supervise.run pool seq_policy ~ident:"ok" (fun () -> 41 + 1) with
+  | Ok v -> check int "value" 42 v
+  | Error e -> Alcotest.failf "unexpected %s" (Resil.Supervise.error_to_string e));
+  match
+    Resil.Supervise.run pool seq_policy ~ident:"boom" (fun () -> failwith "boom")
+  with
+  | Error (Resil.Supervise.Crashed (Failure msg)) when msg = "boom" -> ()
+  | Ok _ -> Alcotest.fail "crash not surfaced"
+  | Error e -> Alcotest.failf "wrong taxonomy: %s" (Resil.Supervise.error_to_string e)
+
+let test_supervise_retry_schedule () =
+  let pool = Exec.Pool.sequential in
+  let policy = { seq_policy with Resil.Supervise.retries = 3; seed = 11 } in
+  let attempts = ref 0 in
+  let flaky () =
+    incr attempts;
+    if !attempts <= 2 then failwith "transient" else 99
+  in
+  Resil.Log.clear ();
+  (match Resil.Supervise.run pool policy ~ident:"flaky" flaky with
+  | Ok v -> check int "recovers after transients" 99 v
+  | Error e -> Alcotest.failf "unexpected %s" (Resil.Supervise.error_to_string e));
+  check int "three attempts" 3 !attempts;
+  let retries =
+    List.filter_map
+      (function
+        | Resil.Log.Retry { attempt; delay; _ } -> Some (attempt, delay)
+        | _ -> None)
+      (Resil.Log.events ())
+  in
+  let expected k =
+    Resil.Backoff.delay policy.Resil.Supervise.backoff ~seed:11 ~ident:"flaky"
+      ~attempt:k
+  in
+  (match retries with
+  | [ (1, d0); (2, d1) ] ->
+    check floats "retry 1 sleeps the seeded backoff" (expected 0) d0;
+    check floats "retry 2 sleeps the seeded backoff" (expected 1) d1
+  | l -> Alcotest.failf "expected 2 retry events, got %d" (List.length l));
+  (* exhausting the budget reports Gave_up with the last exception *)
+  match
+    Resil.Supervise.run pool
+      { policy with Resil.Supervise.retries = 1 }
+      ~ident:"hopeless"
+      (fun () -> failwith "always")
+  with
+  | Error (Resil.Supervise.Gave_up (Failure msg)) when msg = "always" -> ()
+  | Ok _ -> Alcotest.fail "hopeless job succeeded?"
+  | Error e -> Alcotest.failf "wrong taxonomy: %s" (Resil.Supervise.error_to_string e)
+
+let test_supervise_timeout_both_pools () =
+  let policy =
+    { seq_policy with Resil.Supervise.deadline = Some 0.02; retries = 5 }
+  in
+  let attempts = ref 0 in
+  let slow () =
+    incr attempts;
+    Unix.sleepf 0.08;
+    7
+  in
+  (* Sequential pool: the thunk runs inline, so the timeout must be
+     classified post hoc from the recorded stamps. *)
+  (match Resil.Supervise.run Exec.Pool.sequential policy ~ident:"slow" slow with
+  | Error (Resil.Supervise.Timeout d) -> check floats "deadline reported" 0.02 d
+  | Ok _ -> Alcotest.fail "sequential: timeout missed"
+  | Error e -> Alcotest.failf "wrong taxonomy: %s" (Resil.Supervise.error_to_string e));
+  check int "timeouts are not retried" 1 !attempts;
+  (* Pooled: the watchdog abandons the attempt mid-flight. *)
+  let pool = Exec.Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      match Resil.Supervise.run pool policy ~ident:"slow2" slow with
+      | Error (Resil.Supervise.Timeout _) -> ()
+      | Ok _ -> Alcotest.fail "pooled: timeout missed"
+      | Error e ->
+        Alcotest.failf "wrong taxonomy: %s" (Resil.Supervise.error_to_string e))
+
+let test_supervise_quarantine_not_retried () =
+  let attempts = ref 0 in
+  match
+    Resil.Supervise.run Exec.Pool.sequential
+      { seq_policy with Resil.Supervise.retries = 5 }
+      ~ident:"q"
+      (fun () ->
+        incr attempts;
+        raise (Resil.Supervise.Quarantined_failure "poisoned cache"))
+  with
+  | Error (Resil.Supervise.Quarantined "poisoned cache") ->
+    check int "no retries burned on quarantine" 1 !attempts
+  | Ok _ -> Alcotest.fail "quarantine swallowed"
+  | Error e -> Alcotest.failf "wrong taxonomy: %s" (Resil.Supervise.error_to_string e)
+
+(* ---------------- Journal ---------------- *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "crisp_test" ".journal" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".bad"; path ^ ".tmp" ])
+    (fun () -> f path)
+
+let test_journal_roundtrip () =
+  with_temp_journal @@ fun path ->
+  let j = Resil.Journal.load ~path ~signature:"sig-v1" in
+  check int "starts empty" 0 (Resil.Journal.size j);
+  Resil.Journal.record j ~key:"fig4/mcf/0" ~payload:"\x00binary\npayload\xff";
+  Resil.Journal.record j ~key:"fig4/namd/0" ~payload:"second";
+  Resil.Journal.record j ~key:"fig4/mcf/0" ~payload:"replaced";
+  check int "replace keeps one entry per key" 2 (Resil.Journal.size j);
+  (* a fresh load (a "new process") sees the validated payloads *)
+  let j2 = Resil.Journal.load ~path ~signature:"sig-v1" in
+  check (Alcotest.option Alcotest.string) "binary-safe payload"
+    (Some "replaced")
+    (Resil.Journal.find j2 "fig4/mcf/0");
+  check (Alcotest.option Alcotest.string) "second entry" (Some "second")
+    (Resil.Journal.find j2 "fig4/namd/0");
+  check int "nothing quarantined" 0 (Resil.Journal.quarantined j2);
+  (* keys are whitespace-sanitized, not trusted *)
+  Resil.Journal.record j2 ~key:"has space" ~payload:"x";
+  check (Alcotest.option Alcotest.string) "sanitized key" (Some "x")
+    (Resil.Journal.find j2 "has_space")
+
+let test_journal_signature_mismatch () =
+  with_temp_journal @@ fun path ->
+  let j = Resil.Journal.load ~path ~signature:"eval=100" in
+  Resil.Journal.record j ~key:"k" ~payload:"v";
+  Resil.Log.clear ();
+  let stale = Resil.Journal.load ~path ~signature:"eval=200" in
+  check int "stale journal yields nothing" 0 (Resil.Journal.size stale);
+  check int "whole file quarantined" 1 (Resil.Journal.quarantined stale);
+  check bool "original moved to .bad" true (Sys.file_exists (path ^ ".bad"));
+  check bool "quarantine logged" true
+    (List.exists
+       (function Resil.Log.Quarantined _ -> true | _ -> false)
+       (Resil.Log.events ()))
+
+let test_journal_corrupt_entry_quarantined () =
+  with_temp_journal @@ fun path ->
+  let j = Resil.Journal.load ~path ~signature:"s" in
+  Resil.Journal.record j ~key:"good" ~payload:"intact";
+  Resil.Journal.record j ~key:"bad" ~payload:"to-be-damaged";
+  (* flip one payload byte of the "bad" entry on disk *)
+  let lines =
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  let damaged =
+    List.map
+      (fun line ->
+        if String.length line > 4 && String.sub line 0 4 = "bad " then begin
+          let b = Bytes.of_string line in
+          let last = Bytes.length b - 1 in
+          Bytes.set b last (if Bytes.get b last = '0' then '1' else '0');
+          Bytes.to_string b
+        end
+        else line)
+      lines
+  in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) damaged;
+  close_out oc;
+  Resil.Log.clear ();
+  let j2 = Resil.Journal.load ~path ~signature:"s" in
+  check (Alcotest.option Alcotest.string) "intact entry survives"
+    (Some "intact") (Resil.Journal.find j2 "good");
+  check (Alcotest.option Alcotest.string) "damaged entry dropped, never served"
+    None (Resil.Journal.find j2 "bad");
+  check int "one quarantine" 1 (Resil.Journal.quarantined j2);
+  check bool "damaged line preserved in .bad" true
+    (Sys.file_exists (path ^ ".bad"))
+
+let test_journal_write_corruption_detected_on_load () =
+  with_temp_journal @@ fun path ->
+  Resil.Fault_plan.arm
+    (Resil.Fault_plan.make
+       [ { Resil.Fault_plan.site = "journal.write";
+           selector = Resil.Fault_plan.Any;
+           count = Resil.Fault_plan.Nth 1;
+           action = Resil.Fault_plan.Corrupt } ]);
+  let j = Resil.Journal.load ~path ~signature:"s" in
+  Resil.Journal.record j ~key:"c" ~payload:"true payload";
+  (* the writer process still serves the truth... *)
+  check (Alcotest.option Alcotest.string) "writer serves the true payload"
+    (Some "true payload") (Resil.Journal.find j "c");
+  Resil.Fault_plan.disarm ();
+  (* ...and the corruption written to disk fails its checksum on load *)
+  let j2 = Resil.Journal.load ~path ~signature:"s" in
+  check (Alcotest.option Alcotest.string) "corrupt checkpoint never trusted"
+    None (Resil.Journal.find j2 "c");
+  check int "quarantined on load" 1 (Resil.Journal.quarantined j2)
+
+(* ---------------- Runner memo integrity ---------------- *)
+
+let test_runner_memo_corruption_recovers () =
+  Runner.clear_cache ();
+  let run () =
+    Runner.evaluate ~eval_instrs:3_000 ~train_instrs:2_000 ~name:"pointer_chase"
+      Runner.Ooo
+  in
+  let clean = run () in
+  Runner.clear_cache ();
+  Resil.Log.clear ();
+  (* corrupt the sealed memo entry as it is stored; the next lookup must
+     detect it, evict, recompute, and return the correct statistics *)
+  Resil.Fault_plan.arm
+    (Resil.Fault_plan.make
+       [ { Resil.Fault_plan.site = "memo.store";
+           selector = Resil.Fault_plan.Any;
+           count = Resil.Fault_plan.Nth 1;
+           action = Resil.Fault_plan.Corrupt } ]);
+  let first = run () in
+  let second = run () in
+  Resil.Fault_plan.disarm ();
+  check bool "first result correct" true (first.Runner.stats = clean.Runner.stats);
+  check bool "recomputed result correct" true
+    (second.Runner.stats = clean.Runner.stats);
+  check bool "corruption was quarantined, not trusted" true
+    (List.exists
+       (function Resil.Log.Quarantined _ -> true | _ -> false)
+       (Resil.Log.events ()))
+
+(* ---------------- Determinism across worker counts ---------------- *)
+
+(* A synthetic supervised grid under a seeded random fault plan: results
+   (incl. the error taxonomy) and the retry schedule must be identical
+   at 1, 2 and 8 workers, because fault counters are keyed per cell
+   ident and backoff is a pure function of (seed, ident, attempt). *)
+let run_synthetic_grid ~workers ~seed =
+  let pool =
+    if workers <= 1 then Exec.Pool.sequential else Exec.Pool.create ~workers ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Resil.Fault_plan.disarm ();
+      if workers > 1 then Exec.Pool.shutdown pool)
+    (fun () ->
+      Resil.Log.clear ();
+      Resil.Fault_plan.arm (Resil.Fault_plan.random ~seed ~stall:0.002 ());
+      let policy =
+        { Resil.Supervise.default_policy with Resil.Supervise.retries = 2; seed }
+      in
+      let idents =
+        List.concat_map
+          (fun i ->
+            List.map (fun j -> Printf.sprintf "grid/app%d/%d" i j) [ 0; 1; 2 ])
+          [ 0; 1; 2; 3 ]
+      in
+      let handles =
+        List.map
+          (fun ident ->
+            ( ident,
+              Resil.Supervise.spawn pool policy ~ident (fun () ->
+                  Hashtbl.hash ident land 0xffff) ))
+          idents
+      in
+      let results =
+        List.map
+          (fun (ident, h) ->
+            let r =
+              match Resil.Supervise.join h with
+              | Ok v -> Printf.sprintf "ok:%d" v
+              | Error e -> "error:" ^ Resil.Supervise.error_to_string e
+            in
+            (ident, r))
+          handles
+      in
+      let retries =
+        List.map
+          (fun (id, evs) ->
+            ( id,
+              List.filter_map
+                (function
+                  | Resil.Log.Retry { attempt; delay; _ } -> Some (attempt, delay)
+                  | _ -> None)
+                evs ))
+          (Resil.Log.by_ident ())
+      in
+      (results, retries))
+
+let test_synthetic_grid_determinism () =
+  let prop seed =
+    let reference = run_synthetic_grid ~workers:1 ~seed in
+    List.for_all
+      (fun workers -> run_synthetic_grid ~workers ~seed = reference)
+      [ 2; 8 ]
+  in
+  let t =
+    QCheck.Test.make ~count:8
+      ~name:"same seed+plan => same verdicts and retry schedule at 1/2/8 workers"
+      QCheck.small_nat prop
+  in
+  QCheck_alcotest.to_alcotest t
+
+(* ---------------- Figure-level determinism under faults ---------------- *)
+
+let capture_stdout f =
+  let file = Filename.temp_file "crisp_test" ".out" in
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  Fun.protect f ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved);
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in_noerr ic;
+  Sys.remove file;
+  contents
+
+let fig4_under_faults ~jobs =
+  let pool =
+    if jobs <= 1 then Exec.Pool.sequential else Exec.Pool.create ~workers:jobs ()
+  in
+  Experiments.set_pool pool;
+  Fun.protect
+    ~finally:(fun () ->
+      Resil.Fault_plan.disarm ();
+      Experiments.set_resilience Resil.Supervise.default_policy;
+      Experiments.set_pool Exec.Pool.sequential;
+      if jobs > 1 then Exec.Pool.shutdown pool;
+      Runner.clear_cache ())
+    (fun () ->
+      Runner.clear_cache ();
+      Resil.Log.clear ();
+      Resil.Fault_plan.arm
+        (Resil.Fault_plan.make
+           [ parse_ok "runner.run:crash+1@mcf"; parse_ok "pool.job:crash#1@namd" ]);
+      Experiments.set_resilience
+        { Resil.Supervise.default_policy with Resil.Supervise.retries = 1; seed = 3 };
+      let sizes = { Experiments.eval_instrs = 4_000; train_instrs = 3_000 } in
+      let out = capture_stdout (fun () -> ignore (Experiments.fig4 ~sizes ())) in
+      let degraded =
+        List.filter_map
+          (function
+            | Resil.Log.Degraded { ident; error } -> Some (ident, error)
+            | _ -> None)
+          (Resil.Log.events ())
+        |> List.sort compare
+      in
+      (out, degraded))
+
+let test_fig4_identical_across_jobs_under_faults () =
+  let ref_out, ref_degraded = fig4_under_faults ~jobs:1 in
+  check bool "the mcf cell degraded" true
+    (List.exists (fun (id, _) -> id = "fig4/mcf/0") ref_degraded);
+  (* the namd cell's pool.job crash is retried once (Nth 1) and recovers *)
+  check bool "the namd cell recovered by retry" true
+    (not (List.exists (fun (id, _) -> id = "fig4/namd/0") ref_degraded));
+  List.iter
+    (fun jobs ->
+      let out, degraded = fig4_under_faults ~jobs in
+      check Alcotest.string
+        (Printf.sprintf "figure text identical at %d jobs" jobs)
+        ref_out out;
+      check bool
+        (Printf.sprintf "same degraded cells at %d jobs" jobs)
+        true
+        (degraded = ref_degraded))
+    [ 2 ]
+
+(* ---------------- Journal + grid: resume recomputes only missing ---------------- *)
+
+let test_grid_resume_from_journal () =
+  with_temp_journal @@ fun path ->
+  let sizes = { Experiments.eval_instrs = 4_000; train_instrs = 3_000 } in
+  Runner.clear_cache ();
+  Resil.Log.clear ();
+  let clean = capture_stdout (fun () -> ignore (Experiments.fig4 ~sizes ())) in
+  (* First journaled run: mcf crashes (no retries), everything else is
+     checkpointed. *)
+  Runner.clear_cache ();
+  Resil.Log.clear ();
+  Resil.Fault_plan.arm
+    (Resil.Fault_plan.make [ parse_ok "runner.run:crash#1@mcf" ]);
+  Experiments.set_resilience
+    ~journal:(Resil.Journal.load ~path ~signature:"fig4-test")
+    Resil.Supervise.default_policy;
+  let faulted = capture_stdout (fun () -> ignore (Experiments.fig4 ~sizes ())) in
+  check bool "faulted output differs (mcf degraded)" true (faulted <> clean);
+  (* Resume: the Nth=1 crash is consumed, so the one missing cell
+     recomputes cleanly; everything else restores from the journal. *)
+  Runner.clear_cache ();
+  Resil.Log.clear ();
+  Experiments.set_resilience
+    ~journal:(Resil.Journal.load ~path ~signature:"fig4-test")
+    Resil.Supervise.default_policy;
+  let resumed = capture_stdout (fun () -> ignore (Experiments.fig4 ~sizes ())) in
+  Resil.Fault_plan.disarm ();
+  check Alcotest.string "resumed run matches the clean figure byte-for-byte"
+    clean resumed;
+  let _, _, degraded, _, restored = Resil.Log.counts () in
+  check int "no degradation on resume" 0 degraded;
+  check int "all but the crashed cell restored" 15 restored
+
+let () =
+  Alcotest.run "resil"
+    [ ( "clock+backoff",
+        [ Alcotest.test_case "clock-monotone" `Quick (isolated test_clock_monotone);
+          Alcotest.test_case "backoff-deterministic" `Quick
+            (isolated test_backoff_deterministic) ] );
+      ( "fault_plan",
+        [ Alcotest.test_case "parse-spec" `Quick (isolated test_parse_spec);
+          Alcotest.test_case "firing" `Quick (isolated test_fault_plan_firing);
+          Alcotest.test_case "mangle-deterministic" `Quick
+            (isolated test_mangle_deterministic) ] );
+      ( "supervise",
+        [ Alcotest.test_case "ok-and-crash" `Quick
+            (isolated test_supervise_ok_and_crash);
+          Alcotest.test_case "retry-schedule" `Quick
+            (isolated test_supervise_retry_schedule);
+          Alcotest.test_case "timeout-both-pools" `Slow
+            (isolated test_supervise_timeout_both_pools);
+          Alcotest.test_case "quarantine-not-retried" `Quick
+            (isolated test_supervise_quarantine_not_retried) ] );
+      ( "journal",
+        [ Alcotest.test_case "roundtrip" `Quick (isolated test_journal_roundtrip);
+          Alcotest.test_case "signature-mismatch" `Quick
+            (isolated test_journal_signature_mismatch);
+          Alcotest.test_case "corrupt-entry" `Quick
+            (isolated test_journal_corrupt_entry_quarantined);
+          Alcotest.test_case "write-corruption-detected" `Quick
+            (isolated test_journal_write_corruption_detected_on_load) ] );
+      ( "runner",
+        [ Alcotest.test_case "memo-corruption-recovers" `Slow
+            (isolated test_runner_memo_corruption_recovers) ] );
+      ( "determinism",
+        [ test_synthetic_grid_determinism ();
+          Alcotest.test_case "fig4-under-faults-1-vs-2-jobs" `Slow
+            (isolated test_fig4_identical_across_jobs_under_faults) ] );
+      ( "resume",
+        [ Alcotest.test_case "grid-resume-from-journal" `Slow
+            (isolated test_grid_resume_from_journal) ] ) ]
