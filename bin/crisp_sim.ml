@@ -49,13 +49,29 @@ let rob_arg =
   let doc = "Reorder-buffer entries." in
   Arg.(value & opt int 224 & info [ "rob" ] ~docv:"N" ~doc)
 
+let issue_width_arg =
+  let doc =
+    "Select/issue slots per cycle (defaults to the front-end fetch width)."
+  in
+  Arg.(value & opt (some int) None & info [ "issue-width" ] ~docv:"N" ~doc)
+
 let threshold_arg =
   let doc = "Miss-contribution threshold T for delinquent-load selection." in
   Arg.(value & opt float 0.01 & info [ "t"; "threshold" ] ~docv:"T" ~doc)
 
-let base_config ~rs ~rob =
-  if rs = 96 && rob = 224 then Cpu_config.skylake
-  else Cpu_config.with_window ~rs ~rob Cpu_config.skylake
+let base_config ~rs ~rob ~issue_width =
+  let cfg =
+    if rs = 96 && rob = 224 then Cpu_config.skylake
+    else Cpu_config.with_window ~rs ~rob Cpu_config.skylake
+  in
+  match issue_width with
+  | None -> cfg
+  | Some w ->
+    if w < 1 then begin
+      Printf.eprintf "crisp_sim: --issue-width must be at least 1\n";
+      exit 2
+    end;
+    Cpu_config.with_issue_width w cfg
 
 let variant_of_string threshold = function
   | "ooo" -> Ok Runner.Ooo
@@ -70,9 +86,9 @@ let variant_of_string threshold = function
   | "ibda-inf" -> Ok (Runner.Ibda Ibda.ist_infinite)
   | other -> Error other
 
-let simulate workload instrs train_instrs sched rs rob threshold =
+let simulate workload instrs train_instrs sched rs rob issue_width threshold =
   require_workload workload;
-  let cfg = base_config ~rs ~rob in
+  let cfg = base_config ~rs ~rob ~issue_width in
   let cfg =
     if sched = "random" then Cpu_config.with_policy Scheduler.Random_ready cfg else cfg
   in
@@ -120,9 +136,10 @@ let trace_ring_arg =
   let doc = "Event-ring capacity: how many recent events the exporters see." in
   Arg.(value & opt int 65_536 & info [ "ring" ] ~docv:"N" ~doc)
 
-let trace workload instrs train_instrs sched rs rob threshold output format ring =
+let trace workload instrs train_instrs sched rs rob issue_width threshold output
+    format ring =
   require_workload workload;
-  let cfg = base_config ~rs ~rob in
+  let cfg = base_config ~rs ~rob ~issue_width in
   let variant =
     match variant_of_string threshold sched with
     | Ok v -> v
@@ -530,7 +547,7 @@ let simulate_cmd =
   Cmd.v info
     Term.(
       const simulate $ workload_arg $ instrs_arg $ train_arg $ sched_arg $ rs_arg
-      $ rob_arg $ threshold_arg)
+      $ rob_arg $ issue_width_arg $ threshold_arg)
 
 let trace_cmd =
   let info =
@@ -542,8 +559,8 @@ let trace_cmd =
   Cmd.v info
     Term.(
       const trace $ workload_arg $ instrs_arg $ train_arg $ sched_arg $ rs_arg
-      $ rob_arg $ threshold_arg $ trace_output_arg $ trace_format_arg
-      $ trace_ring_arg)
+      $ rob_arg $ issue_width_arg $ threshold_arg $ trace_output_arg
+      $ trace_format_arg $ trace_ring_arg)
 
 let profile_cmd =
   let info = Cmd.info "profile" ~doc:"Print the software profiling report." in

@@ -16,5 +16,7 @@ let predict t ~pc = counter t ~pc >= 2
 let update t ~pc ~taken =
   let i = index t pc in
   let c = Char.code (Bytes.get t.counters i) in
-  let c = if taken then min 3 (c + 1) else max 0 (c - 1) in
-  Bytes.set t.counters i (Char.chr c)
+  (* Saturate with int comparisons: polymorphic [min]/[max] are a C call
+     per update, and this runs once per conditional branch. *)
+  let c = if taken then (if c < 3 then c + 1 else c) else if c > 0 then c - 1 else c in
+  Bytes.set t.counters i (Char.unsafe_chr c)

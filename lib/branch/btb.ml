@@ -1,11 +1,13 @@
-type way = {
-  mutable pc : int;  (* -1 = invalid *)
-  mutable target : int;
-  mutable lru : int;  (* higher = more recently used *)
-}
+(* Set-associative branch target buffer over flat parallel int arrays.
+   A per-way record array here would cost ~43k minor words per created
+   core — the bulk of a simulation run's setup allocation — and an
+   extra indirection on every frontend lookup. *)
 
 type t = {
-  sets : way array array;
+  assoc : int;
+  pcs : int array;  (* per way: tag pc, -1 = invalid *)
+  targets : int array;
+  lrus : int array;  (* higher = more recently used *)
   set_mask : int;
   mutable clock : int;
   mutable hits : int;
@@ -17,38 +19,48 @@ let create ?(entries = 8192) ?(assoc = 4) () =
   let num_sets = entries / assoc in
   if num_sets land (num_sets - 1) <> 0 then
     invalid_arg "Btb.create: number of sets not a power of two";
-  let set _ = Array.init assoc (fun _ -> { pc = -1; target = -1; lru = 0 }) in
-  { sets = Array.init num_sets set; set_mask = num_sets - 1; clock = 0; hits = 0;
+  { assoc;
+    pcs = Array.make entries (-1);
+    targets = Array.make entries (-1);
+    lrus = Array.make entries 0;
+    set_mask = num_sets - 1;
+    clock = 0;
+    hits = 0;
     misses = 0 }
 
-let set_of t pc = t.sets.(pc land t.set_mask)
+let base_of t pc = (pc land t.set_mask) * t.assoc
+
+let rec find_way pcs pc i stop =
+  if i = stop then -1 else if pcs.(i) = pc then i else find_way pcs pc (i + 1) stop
+
+let find_target t ~pc =
+  let base = base_of t pc in
+  t.clock <- t.clock + 1;
+  let i = find_way t.pcs pc base (base + t.assoc) in
+  if i >= 0 then begin
+    t.lrus.(i) <- t.clock;
+    t.hits <- t.hits + 1;
+    t.targets.(i)
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    -1
+  end
 
 let lookup t ~pc =
-  let set = set_of t pc in
-  t.clock <- t.clock + 1;
-  let found = Array.find_opt (fun w -> w.pc = pc) set in
-  match found with
-  | Some w ->
-    w.lru <- t.clock;
-    t.hits <- t.hits + 1;
-    Some w.target
-  | None ->
-    t.misses <- t.misses + 1;
-    None
+  match find_target t ~pc with -1 -> None | target -> Some target
+
+let rec lru_way lrus best i stop =
+  if i = stop then best else lru_way lrus (if lrus.(i) < lrus.(best) then i else best) (i + 1) stop
 
 let update t ~pc ~target =
-  let set = set_of t pc in
+  let base = base_of t pc in
   t.clock <- t.clock + 1;
-  match Array.find_opt (fun w -> w.pc = pc) set with
-  | Some w ->
-    w.target <- target;
-    w.lru <- t.clock
-  | None ->
-    let victim = ref set.(0) in
-    Array.iter (fun w -> if w.lru < !victim.lru then victim := w) set;
-    !victim.pc <- pc;
-    !victim.target <- target;
-    !victim.lru <- t.clock
+  let i = find_way t.pcs pc base (base + t.assoc) in
+  let w = if i >= 0 then i else lru_way t.lrus base (base + 1) (base + t.assoc) in
+  t.pcs.(w) <- pc;
+  t.targets.(w) <- target;
+  t.lrus.(w) <- t.clock
 
 let hits t = t.hits
 let misses t = t.misses

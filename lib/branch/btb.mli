@@ -10,6 +10,11 @@ val create : ?entries:int -> ?assoc:int -> unit -> t
 val lookup : t -> pc:int -> int option
 (** Predicted target for a control transfer at [pc]; updates LRU on hit. *)
 
+val find_target : t -> pc:int -> int
+(** Same as {!lookup} but returns [-1] on a miss instead of boxing the
+    target in an option — the variant the fetch stage uses.  Identical
+    hit/miss/LRU accounting. *)
+
 val update : t -> pc:int -> target:int -> unit
 (** Install or refresh the mapping after the transfer resolves. *)
 

@@ -11,14 +11,16 @@ let capacity t = Array.length t.slots
 let push t addr =
   t.slots.(t.top) <- addr;
   t.top <- (t.top + 1) mod capacity t;
-  t.valid <- min (capacity t) (t.valid + 1)
+  if t.valid < capacity t then t.valid <- t.valid + 1
 
-let pop t =
-  if t.valid = 0 then None
+let pop_value t =
+  if t.valid = 0 then -1
   else begin
     t.top <- (t.top - 1 + capacity t) mod capacity t;
     t.valid <- t.valid - 1;
-    Some t.slots.(t.top)
+    t.slots.(t.top)
   end
+
+let pop t = match pop_value t with -1 -> None | addr -> Some addr
 
 let depth t = t.valid

@@ -13,5 +13,10 @@ val push : t -> int -> unit
 val pop : t -> int option
 (** [None] when the stack is empty (underflow). *)
 
+val pop_value : t -> int
+(** Same as {!pop} but returns [-1] on underflow (pushed addresses are
+    pcs, always non-negative) — the unboxed variant the fetch stage
+    uses. *)
+
 val depth : t -> int
 (** Current number of valid entries (saturates at capacity). *)

@@ -18,6 +18,12 @@ type table = {
   tags : int array;
   ctrs : int array;
   useful : int array;
+  (* Folded global history for this table's index and tag hashes,
+     maintained incrementally as outcomes are pushed (see
+     [update_fold]): always equal to the direct chunked-XOR fold of the
+     last [hist_len] outcome bits. *)
+  mutable f_idx : int;
+  mutable f_tag : int;
 }
 
 type t = {
@@ -30,6 +36,12 @@ type t = {
   mutable predictions : int;
   mutable mispredictions : int;
   mutable updates_since_reset : int;
+  (* scratch for [lookup]: provider/alternate bank and index, so the
+     per-branch component search returns nothing boxed *)
+  mutable lk_provider : int;
+  mutable lk_pidx : int;
+  mutable lk_alt : int;
+  mutable lk_aidx : int;
 }
 
 let history_capacity = 256
@@ -41,7 +53,9 @@ let create ?(config = default_config) ?(seed = 0x7a9e) () =
     { hist_len;
       tags = Array.make config.table_entries (-1);
       ctrs = Array.make config.table_entries (1 lsl (config.counter_bits - 1));
-      useful = Array.make config.table_entries 0 }
+      useful = Array.make config.table_entries 0;
+      f_idx = 0;  (* fold of the initial all-zero history *)
+      f_tag = 0 }
   in
   { config;
     base = Bimodal.create ~entries:config.base_entries ();
@@ -51,109 +65,150 @@ let create ?(config = default_config) ?(seed = 0x7a9e) () =
     rng = Prng.create seed;
     predictions = 0;
     mispredictions = 0;
-    updates_since_reset = 0 }
+    updates_since_reset = 0;
+    lk_provider = -1;
+    lk_pidx = 0;
+    lk_alt = -1;
+    lk_aidx = 0 }
 
 let history_bit t i =
-  (* i = 0 is the most recent outcome *)
-  Char.code (Bytes.get t.history ((t.head - 1 - i + (2 * history_capacity)) mod history_capacity))
+  (* i = 0 is the most recent outcome; capacity is a power of two, so the
+     wrap (including the negative range of [head - 1 - i]) is a mask. *)
+  Char.code (Bytes.get t.history ((t.head - 1 - i) land (history_capacity - 1)))
 
-(* Fold the last [len] history bits into [bits] bits by chunked XOR. *)
-let folded_history t ~len ~bits =
-  let acc = ref 0 in
-  let chunk = ref 0 in
-  let pos = ref 0 in
-  for i = 0 to len - 1 do
-    chunk := !chunk lor (history_bit t i lsl !pos);
-    incr pos;
-    if !pos = bits then begin
-      acc := !acc lxor !chunk;
-      chunk := 0;
-      pos := 0
-    end
-  done;
-  !acc lxor !chunk
+(* Fold the last [len] history bits into [bits] bits by chunked XOR.
+   Top-level recursion (runs twice per bank per branch — a closure here
+   would dominate the frontend's allocation without flambda). *)
+let rec fold_bits t len bits i pos chunk acc =
+  if i = len then acc lxor chunk
+  else
+    let chunk = chunk lor (history_bit t i lsl pos) in
+    if pos + 1 = bits then fold_bits t len bits (i + 1) 0 0 (acc lxor chunk)
+    else fold_bits t len bits (i + 1) (pos + 1) chunk acc
+
+let folded_history t ~len ~bits = fold_bits t len bits 0 0 0 0
 
 let idx_bits t =
   (* log2 of table_entries *)
   let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
   log2 t.config.table_entries 0
 
+(* One push of outcome bit [b] shifts every history index up by one, which
+   rotates each bit's chunk position up by one; the incoming bit lands at
+   position 0 and the outgoing bit (previously at index [len - 1], now
+   fallen off) is cancelled at position [len mod bits].  So the folded
+   register advances by rotate-left-1, XOR in, XOR out — equal to
+   re-folding the whole window (see [folded_history]). *)
+let fold_step fold ~bits ~b ~out ~out_pos =
+  let rot = ((fold lsl 1) lor (fold lsr (bits - 1))) land ((1 lsl bits) - 1) in
+  rot lxor b lxor (out lsl out_pos)
+
 let table_index t bank pc =
   let bits = idx_bits t in
   let tb = t.tables.(bank) in
-  let fold = folded_history t ~len:tb.hist_len ~bits in
-  (pc lxor (pc lsr bits) lxor fold lxor (bank * 0x1f1)) land (t.config.table_entries - 1)
+  (pc lxor (pc lsr bits) lxor tb.f_idx lxor (bank * 0x1f1))
+  land (t.config.table_entries - 1)
 
 let table_tag t bank pc =
   let bits = t.config.tag_bits in
   let tb = t.tables.(bank) in
-  let fold = folded_history t ~len:tb.hist_len ~bits in
-  (pc lxor (pc lsr (bits + 1)) lxor fold) land ((1 lsl bits) - 1)
+  (pc lxor (pc lsr (bits + 1)) lxor tb.f_tag) land ((1 lsl bits) - 1)
 
 let ctr_max t = (1 lsl t.config.counter_bits) - 1
 let ctr_mid t = 1 lsl (t.config.counter_bits - 1)
 
-(* Find provider and alternate components for this pc. *)
+(* Find provider and alternate components for this pc, into the lk_*
+   scratch fields (this runs once per branch; a tuple return here would
+   be a per-branch allocation). *)
 let lookup t pc =
-  let n = Array.length t.tables in
-  let provider = ref (-1) in
-  let alt = ref (-1) in
-  let provider_idx = ref 0 in
-  let alt_idx = ref 0 in
-  for bank = 0 to n - 1 do
+  t.lk_provider <- -1;
+  t.lk_pidx <- 0;
+  t.lk_alt <- -1;
+  t.lk_aidx <- 0;
+  for bank = 0 to Array.length t.tables - 1 do
     let idx = table_index t bank pc in
     if t.tables.(bank).tags.(idx) = table_tag t bank pc then begin
-      alt := !provider;
-      alt_idx := !provider_idx;
-      provider := bank;
-      provider_idx := idx
+      t.lk_alt <- t.lk_provider;
+      t.lk_aidx <- t.lk_pidx;
+      t.lk_provider <- bank;
+      t.lk_pidx <- idx
     end
-  done;
-  (!provider, !provider_idx, !alt, !alt_idx)
+  done
 
 let table_pred t bank idx = t.tables.(bank).ctrs.(idx) >= ctr_mid t
 
 let predict t ~pc =
-  let provider, pidx, _, _ = lookup t pc in
-  if provider >= 0 then table_pred t provider pidx else Bimodal.predict t.base ~pc
+  lookup t pc;
+  if t.lk_provider >= 0 then table_pred t t.lk_provider t.lk_pidx
+  else Bimodal.predict t.base ~pc
 
 let push_history t taken =
+  (* Advance every table's folded registers before the buffer moves: the
+     outgoing bit of a length-[len] window is the current index len - 1. *)
+  let b = if taken then 1 else 0 in
+  let ib = idx_bits t in
+  let tb_bits = t.config.tag_bits in
+  for bank = 0 to Array.length t.tables - 1 do
+    let tb = t.tables.(bank) in
+    let out = history_bit t (tb.hist_len - 1) in
+    tb.f_idx <- fold_step tb.f_idx ~bits:ib ~b ~out ~out_pos:(tb.hist_len mod ib);
+    tb.f_tag <-
+      fold_step tb.f_tag ~bits:tb_bits ~b ~out ~out_pos:(tb.hist_len mod tb_bits)
+  done;
   Bytes.set t.history t.head (if taken then '\001' else '\000');
-  t.head <- (t.head + 1) mod history_capacity
+  t.head <- (t.head + 1) land (history_capacity - 1)
 
+(* Saturating counter updates avoid polymorphic [min]/[max] (a C call per
+   use) throughout this module: these run on every conditional branch. *)
 let bump ctrs idx ~taken ~ceiling =
-  if taken then ctrs.(idx) <- min ceiling (ctrs.(idx) + 1)
-  else ctrs.(idx) <- max 0 (ctrs.(idx) - 1)
+  let c = ctrs.(idx) in
+  if taken then (if c < ceiling then ctrs.(idx) <- c + 1)
+  else if c > 0 then ctrs.(idx) <- c - 1
+
+(* Free-entry (useful = 0) scan helpers for [allocate].  The global
+   history is stable while allocating (it is pushed afterwards), so
+   [table_index] is safe to recompute across passes. *)
+let rec free_count t pc bank n acc =
+  if bank = n then acc
+  else
+    let idx = table_index t bank pc in
+    free_count t pc (bank + 1) n
+      (if t.tables.(bank).useful.(idx) = 0 then acc + 1 else acc)
+
+let rec nth_free t pc bank k =
+  let idx = table_index t bank pc in
+  if t.tables.(bank).useful.(idx) = 0 then
+    if k = 0 then bank else nth_free t pc (bank + 1) (k - 1)
+  else nth_free t pc (bank + 1) k
 
 let allocate t pc ~taken ~above =
   (* Try to allocate an entry in a table with longer history than the
      provider; prefer entries whose useful counter is zero. *)
   let n = Array.length t.tables in
-  let candidates = ref [] in
-  for bank = above to n - 1 do
-    let idx = table_index t bank pc in
-    if t.tables.(bank).useful.(idx) = 0 then candidates := (bank, idx) :: !candidates
-  done;
-  match !candidates with
-  | [] ->
+  let count = free_count t pc above n 0 in
+  if count = 0 then
     (* No free entry: age the competing entries instead. *)
     for bank = above to n - 1 do
       let idx = table_index t bank pc in
       let u = t.tables.(bank).useful in
-      u.(idx) <- max 0 (u.(idx) - 1)
+      if u.(idx) > 0 then u.(idx) <- u.(idx) - 1
     done
-  | cands ->
-    let cands = Array.of_list (List.rev cands) in
-    (* Bias allocation toward shorter histories, as in the original TAGE. *)
-    let pick =
-      if Array.length cands > 1 && Prng.int t.rng 4 < 3 then cands.(0)
-      else cands.(Prng.int t.rng (Array.length cands))
+  else begin
+    (* Bias allocation toward shorter histories, as in the original TAGE.
+       The draw sequence is load-bearing: with one candidate only the
+       [Prng.int count] draw happens (the && short-circuits), with more
+       the bias draw happens first and the index draw only on the 1-in-4
+       unbiased path. *)
+    let bank =
+      if count > 1 && Prng.int t.rng 4 < 3 then nth_free t pc above 0
+      else nth_free t pc above (Prng.int t.rng count)
     in
-    let bank, idx = pick in
+    let idx = table_index t bank pc in
     let tb = t.tables.(bank) in
     tb.tags.(idx) <- table_tag t bank pc;
     tb.ctrs.(idx) <- (if taken then ctr_mid t else ctr_mid t - 1);
     tb.useful.(idx) <- 0
+  end
 
 let reset_useful t =
   Array.iter
@@ -161,7 +216,9 @@ let reset_useful t =
     t.tables
 
 let predict_and_update t ~pc ~taken =
-  let provider, pidx, alt, aidx = lookup t pc in
+  lookup t pc;
+  let provider = t.lk_provider and pidx = t.lk_pidx in
+  let alt = t.lk_alt and aidx = t.lk_aidx in
   let alt_pred = if alt >= 0 then table_pred t alt aidx else Bimodal.predict t.base ~pc in
   let pred = if provider >= 0 then table_pred t provider pidx else alt_pred in
   t.predictions <- t.predictions + 1;
@@ -171,8 +228,9 @@ let predict_and_update t ~pc ~taken =
     let tb = t.tables.(provider) in
     bump tb.ctrs pidx ~taken ~ceiling:(ctr_max t);
     if pred <> alt_pred then begin
-      if pred = taken then tb.useful.(pidx) <- min 3 (tb.useful.(pidx) + 1)
-      else tb.useful.(pidx) <- max 0 (tb.useful.(pidx) - 1);
+      let u = tb.useful.(pidx) in
+      if pred = taken then (if u < 3 then tb.useful.(pidx) <- u + 1)
+      else if u > 0 then tb.useful.(pidx) <- u - 1;
       (* When the provider was wrong but the alternate was right, also train
          the alternate so it keeps its accuracy. *)
       if pred <> taken then begin
@@ -192,6 +250,18 @@ let predict_and_update t ~pc ~taken =
     reset_useful t
   end;
   pred
+
+let self_check t =
+  let ib = idx_bits t in
+  let ok = ref true in
+  Array.iter
+    (fun tb ->
+      if
+        tb.f_idx <> folded_history t ~len:tb.hist_len ~bits:ib
+        || tb.f_tag <> folded_history t ~len:tb.hist_len ~bits:t.config.tag_bits
+      then ok := false)
+    t.tables;
+  !ok
 
 let mispredictions t = t.mispredictions
 let predictions t = t.predictions

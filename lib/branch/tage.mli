@@ -34,3 +34,8 @@ val predict_and_update : t -> pc:int -> taken:bool -> bool
 
 val mispredictions : t -> int
 val predictions : t -> int
+
+val self_check : t -> bool
+(** Verify the incrementally-maintained folded-history registers against a
+    direct re-fold of the outcome history window (test oracle for the
+    rotate-XOR update; [true] when every table's registers match). *)

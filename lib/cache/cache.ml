@@ -9,6 +9,7 @@ type t = {
   params : params;
   line_bits : int;
   num_sets : int;
+  set_mask : int;  (* num_sets - 1 when a power of two, else -1 *)
   tags : int array;  (* sets * assoc, -1 = invalid *)
   lru : int array;
   prefetched : bool array;
@@ -34,6 +35,7 @@ let create ~name params =
     params;
     line_bits = log2 params.line_bytes;
     num_sets;
+    set_mask = (if num_sets land (num_sets - 1) = 0 then num_sets - 1 else -1);
     tags = Array.make slots (-1);
     lru = Array.make slots 0;
     prefetched = Array.make slots false;
@@ -49,25 +51,29 @@ let params t = t.params
 
 let line_of t addr = addr lsr t.line_bits
 
-let set_base t line = line mod t.num_sets * t.assoc
+(* The L1s have power-of-two set counts, so the hot path is a mask; the
+   LLC (1 MiB / 20-way = 819 sets) keeps the division. *)
+let set_base t line =
+  (if t.set_mask >= 0 then line land t.set_mask else line mod t.num_sets) * t.assoc
+
+(* Set scans as top-level recursions: these run on every cache access,
+   and a local [let rec] capturing the tag/LRU arrays would allocate a
+   closure per access without flambda. *)
+let rec scan_set tags line base i assoc =
+  if i = assoc then -1
+  else if tags.(base + i) = line then base + i
+  else scan_set tags line base (i + 1) assoc
 
 (* Returns the slot holding [line] in its set, or -1. *)
-let find_slot t line =
-  let base = set_base t line in
-  let rec go i =
-    if i = t.assoc then -1
-    else if t.tags.(base + i) = line then base + i
-    else go (i + 1)
-  in
-  go 0
+let find_slot t line = scan_set t.tags line (set_base t line) 0 t.assoc
+
+let rec min_lru lru best i stop =
+  if i = stop then best
+  else min_lru lru (if lru.(i) < lru.(best) then i else best) (i + 1) stop
 
 let victim_slot t line =
   let base = set_base t line in
-  let best = ref base in
-  for i = 1 to t.assoc - 1 do
-    if t.lru.(base + i) < t.lru.(!best) then best := base + i
-  done;
-  !best
+  min_lru t.lru base (base + 1) (base + t.assoc)
 
 let probe t ~addr = find_slot t (line_of t addr) >= 0
 

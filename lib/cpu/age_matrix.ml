@@ -1,10 +1,24 @@
+(* Age order of a RAND instruction queue.
+
+   The hardware (paper Section 4.2) keeps one age-mask row per slot and
+   picks the oldest candidate with an AND + reduction-NOR per row.  A
+   software row-of-bitmasks transcription of that makes [remove] clear a
+   column across every row — O(slots) per issued instruction — and
+   [pick_oldest] intersect a mask per candidate.  The order the matrix
+   encodes is just insertion order, so we store it directly: a
+   monotonically increasing insertion stamp per occupied slot.  The
+   oldest candidate is the stamp argmin (same winner as the hardware
+   reduction, stamps are unique), [insert]/[remove] are O(1), and the
+   63-bit stamp counter cannot wrap in any realistic run. *)
+
 type t = {
   n : int;
-  masks : Bitset.t array;  (* masks.(s): bits of slots strictly older than s *)
+  stamp : int array;  (* insertion stamp; meaningful while occupied *)
   occ : Bitset.t;
+  mutable clock : int;
 }
 
-let create n = { n; masks = Array.init n (fun _ -> Bitset.create n); occ = Bitset.create n }
+let create n = { n; stamp = Array.make n 0; occ = Bitset.create n; clock = 0 }
 
 let slots t = t.n
 
@@ -12,38 +26,28 @@ let occupied t s = Bitset.mem t.occ s
 
 let insert t s =
   if occupied t s then invalid_arg "Age_matrix.insert: slot already occupied";
-  (* Everything currently occupied is older than the newcomer. *)
-  Bitset.copy_into ~src:t.occ ~dst:t.masks.(s);
+  t.clock <- t.clock + 1;
+  t.stamp.(s) <- t.clock;
   Bitset.set t.occ s
 
 let remove t s =
   if not (occupied t s) then invalid_arg "Age_matrix.remove: slot not occupied";
-  Bitset.clear t.occ s;
-  (* Clear the freed slot from every age mask so a future occupant of this
-     slot is seen as younger (the hardware clears the column in parallel). *)
-  Bitset.clear_bit_everywhere t.masks s
+  Bitset.clear t.occ s
 
-let pick_oldest t candidates =
-  let winner = ref (-1) in
-  Bitset.iter_set
-    (fun s ->
-      if !winner = -1 && Bitset.inter_empty t.masks.(s) candidates then winner := s)
-    candidates;
-  !winner
+(* Stamp argmin over the candidate bits; stamps are unique, so the
+   winner does not depend on tie-breaking. *)
+let pick_oldest t candidates = Bitset.argmin candidates t.stamp
 
-let older t a b = Bitset.mem t.masks.(b) a
+let older t a b = t.stamp.(a) < t.stamp.(b)
 
 let self_check t =
   let fail = ref None in
   let report fmt = Format.kasprintf (fun s -> if !fail = None then fail := Some s) fmt in
   for a = 0 to t.n - 1 do
     if occupied t a then begin
-      if Bitset.mem t.masks.(a) a then report "slot %d is older than itself" a;
-      Bitset.iter_set
-        (fun o ->
-          if not (occupied t o) then
-            report "age mask of slot %d names unoccupied slot %d" a o)
-        t.masks.(a);
+      if t.stamp.(a) <= 0 || t.stamp.(a) > t.clock then
+        report "slot %d has stamp %d outside (0, clock=%d]" a t.stamp.(a) t.clock;
+      if older t a a then report "slot %d is older than itself" a;
       for b = a + 1 to t.n - 1 do
         if occupied t b then begin
           let ab = older t a b and ba = older t b a in

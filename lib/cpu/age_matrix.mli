@@ -1,13 +1,15 @@
 (** Age-matrix order tracking for a RAND instruction queue (paper Section
     4.2, after Sassone et al. and the AMD Bulldozer / IBM POWER8 designs).
 
-    Instructions are inserted into arbitrary (random) queue slots; each
-    occupied slot keeps an age mask whose set bits identify strictly older
-    occupants.  Picking the oldest member of any candidate set (the BID
-    vector of ready instructions, or CRISP's PRIO vector of ready-and-
-    critical instructions) reduces to finding the candidate whose age mask
-    intersected with the candidate set is empty — the hardware's AND +
-    reduction-NOR per slot. *)
+    Instructions are inserted into arbitrary (random) queue slots; the
+    hardware keeps an age mask per occupied slot (set bits identify
+    strictly older occupants) and picks the oldest member of any
+    candidate set — the BID vector of ready instructions, or CRISP's
+    PRIO vector of ready-and-critical instructions — with an AND +
+    reduction-NOR per slot.  This module encodes the same total order as
+    a monotonic insertion stamp per slot, so the oldest candidate is the
+    stamp argmin: the identical winner, without the O(slots) column
+    clear per issue the mask transcription would need. *)
 
 type t
 
@@ -20,8 +22,7 @@ val insert : t -> int -> unit
 (** Occupy a currently-free slot as the youngest instruction. *)
 
 val remove : t -> int -> unit
-(** Free a slot (instruction issued); clears its bit from every remaining
-    age mask. *)
+(** Free a slot (instruction issued); it leaves the age order. *)
 
 val occupied : t -> int -> bool
 
@@ -35,8 +36,8 @@ val older : t -> int -> int -> bool
     occupied slot [b] (i.e. [a]'s bit is set in [b]'s age mask). *)
 
 val self_check : t -> string option
-(** Structural invariants of the matrix, used by the debug scoreboard:
-    age masks are irreflexive (no slot is older than itself), antisymmetric
-    and total over occupied pairs (of two distinct occupied slots exactly
-    one is older), and masks never name unoccupied slots.  Returns a
+(** Structural invariants of the age order, used by the debug scoreboard:
+    irreflexive (no slot is older than itself), antisymmetric and total
+    over occupied pairs (of two distinct occupied slots exactly one is
+    older), and every occupied slot carries a valid stamp.  Returns a
     description of the first violated invariant, [None] when sound. *)

@@ -47,39 +47,33 @@ let diff_into ~a ~b ~dst =
     dst.words.(i) <- a.words.(i) land lnot b.words.(i)
   done
 
+(* The scan helpers below live at top level and thread every piece of
+   state through their arguments: without flambda, a local [let rec]
+   that captures its environment allocates a closure block on the minor
+   heap at every call of the enclosing function, and these run in the
+   per-cycle select/wakeup path. *)
+
+let rec inter_empty_from aw bw n i =
+  i = n || (aw.(i) land bw.(i) = 0 && inter_empty_from aw bw n (i + 1))
+
 let inter_empty a b =
   same_width a b;
-  let rec go i =
-    i = Array.length a.words || (a.words.(i) land b.words.(i) = 0 && go (i + 1))
-  in
-  go 0
+  inter_empty_from a.words b.words (Array.length a.words) 0
 
-(* Number of trailing zeros of a single-bit word, by binary search. *)
+(* Number of trailing zeros of a single-bit word, by binary search
+   (straight-line: a [ref] here would be a 2-word allocation per call). *)
 let bit_index bit =
-  let i = ref 0 in
-  let b = ref bit in
-  if !b land 0x7FFFFFFF = 0 then begin
-    i := !i + 31;
-    b := !b lsr 31
-  end;
-  if !b land 0xFFFF = 0 then begin
-    i := !i + 16;
-    b := !b lsr 16
-  end;
-  if !b land 0xFF = 0 then begin
-    i := !i + 8;
-    b := !b lsr 8
-  end;
-  if !b land 0xF = 0 then begin
-    i := !i + 4;
-    b := !b lsr 4
-  end;
-  if !b land 0x3 = 0 then begin
-    i := !i + 2;
-    b := !b lsr 2
-  end;
-  if !b land 0x1 = 0 then i := !i + 1;
-  !i
+  let s5 = if bit land 0x7FFFFFFF = 0 then 31 else 0 in
+  let b = bit lsr s5 in
+  let s4 = if b land 0xFFFF = 0 then 16 else 0 in
+  let b = b lsr s4 in
+  let s3 = if b land 0xFF = 0 then 8 else 0 in
+  let b = b lsr s3 in
+  let s2 = if b land 0xF = 0 then 4 else 0 in
+  let b = b lsr s2 in
+  let s1 = if b land 0x3 = 0 then 2 else 0 in
+  let b = b lsr s1 in
+  s5 + s4 + s3 + s2 + s1 + (if b land 0x1 = 0 then 1 else 0)
 
 let iter_set f t =
   for wi = 0 to Array.length t.words - 1 do
@@ -91,14 +85,78 @@ let iter_set f t =
     done
   done
 
-let count t =
-  let n = ref 0 in
-  iter_set (fun _ -> incr n) t;
-  !n
+(* Kernighan popcount on one word; the 64-bit SWAR constants don't fit
+   OCaml's 63-bit immediates, and the word population is small here. *)
+let rec popcount w acc = if w = 0 then acc else popcount (w land (w - 1)) (acc + 1)
+
+let rec count_words words wi acc =
+  if wi < 0 then acc else count_words words (wi - 1) (popcount words.(wi) acc)
+
+let count t = count_words t.words (Array.length t.words - 1) 0
+
+let rec first_set_word words nwords wi =
+  if wi >= nwords then -1
+  else if words.(wi) = 0 then first_set_word words nwords (wi + 1)
+  else
+    let w = words.(wi) in
+    (wi * bits_per_word) + bit_index (w land -w)
+
+let next_set t i =
+  (* First set bit at index >= i, or -1.  [i] may equal [width]. *)
+  if i >= t.bits then -1
+  else begin
+    check t i;
+    let wi = i / bits_per_word in
+    let w = t.words.(wi) land (lnot 0 lsl (i mod bits_per_word)) in
+    if w <> 0 then (wi * bits_per_word) + bit_index (w land -w)
+    else first_set_word t.words (Array.length t.words) (wi + 1)
+  end
+
+let rec nth_bit wi w n =
+  let low = w land -w in
+  if n = 0 then (wi * bits_per_word) + bit_index low
+  else nth_bit wi (w land lnot low) (n - 1)
+
+let rec nth_word words nwords wi n =
+  if wi >= nwords then -1
+  else
+    let c = popcount words.(wi) 0 in
+    if n < c then nth_bit wi words.(wi) n else nth_word words nwords (wi + 1) (n - c)
+
+(* Index of the [n]-th (0-based) set bit in increasing order, or -1. *)
+let nth_set t n = if n < 0 then -1 else nth_word t.words (Array.length t.words) 0 n
+
+(* Argmin over set bits keyed by an external array: the select path's
+   inner loop.  Scanning the words directly (one Kernighan step per set
+   bit) replaces a [next_set] call per candidate — each of which redid
+   the bounds check, word split, and trailing-zero search from scratch.
+   Ties keep the earlier index, matching a left-to-right linear scan. *)
+let rec argmin_in_word keys w base best =
+  if w = 0 then best
+  else
+    let bit = w land -w in
+    let i = base + bit_index bit in
+    argmin_in_word keys
+      (w land (w - 1))
+      base
+      (if best = -1 || keys.(i) < keys.(best) then i else best)
+
+let rec argmin_words keys words nwords wi best =
+  if wi = nwords then best
+  else
+    argmin_words keys words nwords (wi + 1)
+      (argmin_in_word keys words.(wi) (wi * bits_per_word) best)
+
+let argmin t keys = argmin_words keys t.words (Array.length t.words) 0 (-1)
 
 let clear_all t = Array.fill t.words 0 (Array.length t.words) 0
 
 let clear_bit_everywhere sets i =
+  (* Plain loop: an [Array.iter] closure here would allocate once per
+     issued instruction (this clears the age-matrix column). *)
   let wi = i / bits_per_word in
   let mask = lnot (1 lsl (i mod bits_per_word)) in
-  Array.iter (fun s -> s.words.(wi) <- s.words.(wi) land mask) sets
+  for k = 0 to Array.length sets - 1 do
+    let w = sets.(k).words in
+    w.(wi) <- w.(wi) land mask
+  done

@@ -27,6 +27,20 @@ val iter_set : (int -> unit) -> t -> unit
 (** Apply to every set bit, in increasing index order. *)
 
 val count : t -> int
+
+val next_set : t -> int -> int
+(** First set index [>= i], or [-1] when none.  Allocation-free scan
+    primitive for the hot pickers; [i] may equal [width t]. *)
+
+val nth_set : t -> int -> int
+(** Index of the [n]-th (0-based) set bit in increasing order, or [-1]
+    when fewer than [n+1] bits are set. *)
+
+val argmin : t -> int array -> int
+(** [argmin t keys] is the set index minimising [keys.(i)], or [-1] when
+    the set is empty; ties keep the lowest index.  Word-wise scan — the
+    allocation-free inner loop of the oldest-first picker. *)
+
 val clear_all : t -> unit
 
 val clear_bit_everywhere : t array -> int -> unit

@@ -1,5 +1,6 @@
 type t = {
   fetch_width : int;
+  issue_width : int;
   retire_width : int;
   rob_size : int;
   rs_size : int;
@@ -26,6 +27,7 @@ type t = {
 
 let skylake =
   { fetch_width = 6;
+    issue_width = 6;
     retire_width = 6;
     rob_size = 224;
     rs_size = 96;
@@ -51,6 +53,8 @@ let skylake =
 
 let with_policy policy t = { t with policy }
 
+let with_issue_width issue_width t = { t with issue_width }
+
 let with_scoreboard scoreboard t = { t with scoreboard }
 
 let with_obs obs t = { t with obs }
@@ -71,6 +75,7 @@ let pp fmt t =
   let row name value = Format.fprintf fmt "  %-30s %s@." name value in
   Format.fprintf fmt "Simulated system:@.";
   row "Frontend width and retirement" (Printf.sprintf "%d-way" t.fetch_width);
+  row "Issue (selection) width" (Printf.sprintf "%d per cycle" t.issue_width);
   row "Functional units"
     (Printf.sprintf "%d ALU, %d Load, %d Store" t.alu_ports t.load_ports t.store_ports);
   row "Branch predictor" "TAGE";

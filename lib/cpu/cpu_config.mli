@@ -3,6 +3,9 @@
 
 type t = {
   fetch_width : int;  (** frontend width (6) *)
+  issue_width : int;
+      (** scheduler selection budget per cycle (6); historically tied to
+          [fetch_width], now independent for width-sensitivity studies *)
   retire_width : int;  (** retirement width (6) *)
   rob_size : int;  (** 224 *)
   rs_size : int;  (** unified reservation station, 96 *)
@@ -38,6 +41,8 @@ val skylake : t
 (** The baseline configuration of Table 1 with the oldest-ready scheduler. *)
 
 val with_policy : Scheduler.policy -> t -> t
+
+val with_issue_width : int -> t -> t
 
 val with_scoreboard : bool -> t -> t
 

@@ -10,20 +10,17 @@ let st_ready = 2
 let st_issued = 3
 let st_done = 4
 
-type rob_entry = {
-  mutable dyn : int;  (* dynamic trace index, -1 when empty *)
-  mutable state : int;
-  mutable deps_left : int;
-  mutable dependents : int list;  (* rob indices woken at completion *)
-  mutable completion : int;
-  mutable critical : bool;
-  mutable rs_slot : int;
-  mutable forward : bool;  (* load forwarded from an in-flight store *)
-  mutable level : Memory_system.level option;  (* serving level, loads *)
-}
-
 let line_bytes = 64
 
+(* The wheel horizon must cover the common-case longest completion
+   latency (an unloaded DRAM round-trip is ~130 cycles); queue-delayed
+   fills beyond it spill into the wheel's overflow bucket. *)
+let wheel_horizon = 1024
+
+(* The ROB is a struct-of-arrays: the per-entry record of the previous
+   engine forced a pointer deref per field touch and a [dependents] list
+   cons per dependency edge.  Entry [i]'s fields live at index [i] of
+   each array; wakeup edges live in the intrusive [wakeup] lists. *)
 type state = {
   cfg : Cpu_config.t;
   dyns : Executor.dyn array;
@@ -34,18 +31,31 @@ type state = {
   btb : Btb.t;
   ras : Ras.t;
   sched : Scheduler.t;
-  rob : rob_entry array;
+  rob_dyn : int array;  (* dynamic trace index, -1 when empty *)
+  rob_state : int array;
+  rob_deps_left : int array;
+  rob_critical : bool array;
+  rob_rs_slot : int array;
+  rob_forward : bool array;  (* load forwarded from an in-flight store *)
+  rob_level : int array;  (* Memory_system level code, 0 = unknown *)
+  wakeup : Wakeup.t;  (* rob index -> rob indices woken at completion *)
   mutable rob_head : int;
   mutable rob_count : int;
   rename : int array;  (* architectural reg -> rob index of producer, -1 *)
   rs_owner : int array;  (* rs slot -> rob index *)
-  store_map : (int, int) Hashtbl.t;  (* address -> rob index of youngest in-flight store *)
+  store_map : Int_table.t;  (* address -> rob index of youngest in-flight store *)
   mutable lq_count : int;
   mutable sq_count : int;
-  calendar : (int, int list) Hashtbl.t;  (* cycle -> rob indices completing *)
-  mutable mshr_retry : int list;  (* rob indices to re-ready next cycle *)
-  fq : (int * int) Queue.t;  (* (dyn index, dispatch-ready cycle) *)
+  wheel : Event_wheel.t;  (* completion calendar *)
+  mshr_retry : int array;  (* rob indices to re-ready next cycle *)
+  mutable mshr_retry_len : int;
+  fq_dyn : int array;  (* fetch queue ring: dyn index / dispatch-ready cycle *)
+  fq_ready : int array;
   fq_cap : int;
+  mutable fq_head : int;
+  mutable fq_len : int;
+  l1d_latency : int;  (* hoisted from Memory_system.params *)
+  l1i_latency : int;
   mutable fetch_idx : int;
   mutable fetch_blocked_until : int;
   mutable waiting_dyn : int;  (* mispredicted branch dyn stalling fetch, -1 *)
@@ -63,7 +73,7 @@ type state = {
   mutable stall_other_load : int;
   mutable stall_long_op : int;
   mutable stall_other : int;
-  mutable mlp_sum : float;
+  mutable mlp_sum_units : int;  (* per-cycle MLP observations, summed as an int *)
   mutable mlp_cycles : int;
   mutable critical_retired : int;
   upc_timeline : int Vec.t option;
@@ -71,146 +81,138 @@ type state = {
   obs : Obs_tracer.t option;  (* observability tracer, write-only sink *)
 }
 
-let fresh_entry () =
-  { dyn = -1; state = st_empty; deps_left = 0; dependents = []; completion = 0;
-    critical = false; rs_slot = -1; forward = false; level = None }
-
 let rob_full s = s.rob_count >= s.cfg.Cpu_config.rob_size
 
 let rob_tail s = (s.rob_head + s.rob_count) mod s.cfg.Cpu_config.rob_size
-
-let schedule_completion s rob_idx cycle =
-  let existing = Option.value ~default:[] (Hashtbl.find_opt s.calendar cycle) in
-  Hashtbl.replace s.calendar cycle (rob_idx :: existing)
 
 (* ------------------------------------------------------------------ *)
 (* Completion: wake dependents, release branch-stalled fetch.          *)
 (* ------------------------------------------------------------------ *)
 
-let process_completions s =
-  match Hashtbl.find_opt s.calendar s.cycle with
-  | None -> ()
-  | Some completing ->
-    Hashtbl.remove s.calendar s.cycle;
-    List.iter
-      (fun rob_idx ->
-        let e = s.rob.(rob_idx) in
-        e.state <- st_done;
-        (match s.obs with
-        | Some tr -> Obs_tracer.on_complete tr ~cycle:s.cycle ~dyn:e.dyn
-        | None -> ());
-        List.iter
-          (fun dep_idx ->
-            let dep = s.rob.(dep_idx) in
-            dep.deps_left <- dep.deps_left - 1;
-            if dep.deps_left = 0 && dep.state = st_waiting then begin
-              dep.state <- st_ready;
-              Scheduler.mark_ready s.sched dep.rs_slot
-            end)
-          e.dependents;
-        e.dependents <- [];
-        if e.dyn = s.waiting_dyn then begin
-          (* The mispredicted branch resolved: redirect the frontend. *)
-          s.waiting_dyn <- -1;
-          s.fetch_blocked_until <-
-            max s.fetch_blocked_until (s.cycle + s.cfg.Cpu_config.redirect_penalty)
-        end)
-      completing
+let rec wake_dependents s producer =
+  let dep = Wakeup.pop s.wakeup producer in
+  if dep >= 0 then begin
+    s.rob_deps_left.(dep) <- s.rob_deps_left.(dep) - 1;
+    if s.rob_deps_left.(dep) = 0 && s.rob_state.(dep) = st_waiting then begin
+      s.rob_state.(dep) <- st_ready;
+      Scheduler.mark_ready s.sched s.rob_rs_slot.(dep)
+    end;
+    wake_dependents s producer
+  end
+
+let rec process_completions s =
+  let rob_idx = Event_wheel.pop s.wheel ~cycle:s.cycle in
+  if rob_idx >= 0 then begin
+    s.rob_state.(rob_idx) <- st_done;
+    (match s.obs with
+    | Some tr -> Obs_tracer.on_complete tr ~cycle:s.cycle ~dyn:s.rob_dyn.(rob_idx)
+    | None -> ());
+    wake_dependents s rob_idx;
+    if s.rob_dyn.(rob_idx) = s.waiting_dyn then begin
+      (* The mispredicted branch resolved: redirect the frontend. *)
+      s.waiting_dyn <- -1;
+      let until = s.cycle + s.cfg.Cpu_config.redirect_penalty in
+      if until > s.fetch_blocked_until then s.fetch_blocked_until <- until
+    end;
+    process_completions s
+  end
 
 let process_mshr_retries s =
-  List.iter
-    (fun rob_idx ->
-      let e = s.rob.(rob_idx) in
-      if e.state = st_ready then Scheduler.mark_ready s.sched e.rs_slot)
-    s.mshr_retry;
-  s.mshr_retry <- []
+  for i = 0 to s.mshr_retry_len - 1 do
+    let rob_idx = s.mshr_retry.(i) in
+    if s.rob_state.(rob_idx) = st_ready then
+      Scheduler.mark_ready s.sched s.rob_rs_slot.(rob_idx)
+  done;
+  s.mshr_retry_len <- 0
 
 (* ------------------------------------------------------------------ *)
 (* Retirement (in order).                                              *)
 (* ------------------------------------------------------------------ *)
 
-let attribute_head_stall s (e : rob_entry) =
-  let d = s.dyns.(e.dyn) in
-  match d.Executor.op with
-  | Isa.Load -> begin
-    match e.level with
-    | Some Memory_system.Mem -> s.stall_dram <- s.stall_dram + 1
-    | Some Memory_system.Llc -> s.stall_llc <- s.stall_llc + 1
-    | Some Memory_system.L1 | None -> s.stall_other_load <- s.stall_other_load + 1
-  end
+let attribute_head_stall s head =
+  match s.dyns.(s.rob_dyn.(head)).Executor.op with
+  | Isa.Load ->
+    let lvl = s.rob_level.(head) in
+    if lvl = Memory_system.code_mem then s.stall_dram <- s.stall_dram + 1
+    else if lvl = Memory_system.code_llc then s.stall_llc <- s.stall_llc + 1
+    else s.stall_other_load <- s.stall_other_load + 1
   | Isa.Div | Isa.Fp_div -> s.stall_long_op <- s.stall_long_op + 1
   | _ -> s.stall_other <- s.stall_other + 1
 
-let retire s =
-  let retired_now = ref 0 in
-  let continue_ = ref true in
-  while !continue_ && !retired_now < s.cfg.Cpu_config.retire_width && s.rob_count > 0 do
-    let e = s.rob.(s.rob_head) in
-    if e.state <> st_done then begin
-      if !retired_now = 0 then attribute_head_stall s e;
-      continue_ := false
+let rec retire_loop s retired_now =
+  if retired_now >= s.cfg.Cpu_config.retire_width || s.rob_count = 0 then retired_now
+  else begin
+    let head = s.rob_head in
+    if s.rob_state.(head) <> st_done then begin
+      if retired_now = 0 then attribute_head_stall s head;
+      retired_now
     end
     else begin
       (match s.sb with
-      | Some sb -> Scoreboard.check_retire sb ~cycle:s.cycle ~dyn:e.dyn ~expected:s.retired
+      | Some sb ->
+        Scoreboard.check_retire sb ~cycle:s.cycle ~dyn:s.rob_dyn.(head)
+          ~expected:s.retired
       | None -> ());
       (match s.obs with
       | Some tr ->
-        Obs_tracer.on_retire tr ~cycle:s.cycle ~dyn:e.dyn ~critical:e.critical
+        Obs_tracer.on_retire tr ~cycle:s.cycle ~dyn:s.rob_dyn.(head)
+          ~critical:s.rob_critical.(head)
       | None -> ());
-      let d = s.dyns.(e.dyn) in
+      let d = s.dyns.(s.rob_dyn.(head)) in
       (match d.Executor.op with
       | Isa.Store ->
         Memory_system.store_commit s.mem ~cycle:s.cycle ~addr:d.Executor.addr;
-        (match Hashtbl.find_opt s.store_map d.Executor.addr with
-        | Some owner when owner = s.rob_head -> Hashtbl.remove s.store_map d.Executor.addr
-        | Some _ | None -> ());
+        if Int_table.find s.store_map d.Executor.addr = head then
+          Int_table.remove s.store_map d.Executor.addr;
         s.sq_count <- s.sq_count - 1
       | Isa.Load -> s.lq_count <- s.lq_count - 1
       | _ -> ());
-      if e.critical then s.critical_retired <- s.critical_retired + 1;
-      if d.Executor.dst >= 0 && s.rename.(d.Executor.dst) = s.rob_head then
+      if s.rob_critical.(head) then s.critical_retired <- s.critical_retired + 1;
+      if d.Executor.dst >= 0 && s.rename.(d.Executor.dst) = head then
         s.rename.(d.Executor.dst) <- -1;
-      e.state <- st_empty;
-      e.dyn <- -1;
-      s.rob_head <- (s.rob_head + 1) mod s.cfg.Cpu_config.rob_size;
+      s.rob_state.(head) <- st_empty;
+      s.rob_dyn.(head) <- -1;
+      s.rob_head <- (head + 1) mod s.cfg.Cpu_config.rob_size;
       s.rob_count <- s.rob_count - 1;
       s.retired <- s.retired + 1;
-      incr retired_now
+      retire_loop s (retired_now + 1)
     end
-  done;
+  end
+
+let retire s =
+  let retired_now = retire_loop s 0 in
   match s.upc_timeline with
-  | Some timeline -> Vec.push timeline !retired_now
+  | Some timeline -> Vec.push timeline retired_now
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Issue and execute.                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Completion cycle, or -1 when the load must retry (MSHRs full). *)
 let execute s rob_idx =
-  let e = s.rob.(rob_idx) in
-  let d = s.dyns.(e.dyn) in
-  let mem_params = Memory_system.params s.mem in
+  let d = s.dyns.(s.rob_dyn.(rob_idx)) in
   match d.Executor.op with
   | Isa.Load ->
-    if e.forward then begin
+    if s.rob_forward.(rob_idx) then begin
       (* Store-to-load forwarding costs an L1-hit-like latency. *)
-      e.level <- Some Memory_system.L1;
-      `Issued (s.cycle + mem_params.Memory_system.l1d_latency)
+      s.rob_level.(rob_idx) <- Memory_system.code_l1;
+      s.cycle + s.l1d_latency
     end
     else begin
-      match Memory_system.load s.mem ~cycle:s.cycle ~addr:d.Executor.addr with
-      | `Done (ready, level) ->
-        e.level <- Some level;
-        `Issued (max ready (s.cycle + 1))
-      | `Mshr_full -> `Retry
+      let packed = Memory_system.load_raw s.mem ~cycle:s.cycle ~addr:d.Executor.addr in
+      if packed < 0 then -1
+      else begin
+        s.rob_level.(rob_idx) <- packed land 3;
+        let ready = packed lsr 2 in
+        if ready > s.cycle + 1 then ready else s.cycle + 1
+      end
     end
   | Isa.Prefetch ->
     (* Software prefetch: starts the fill, completes immediately. *)
-    (match Memory_system.load s.mem ~cycle:s.cycle ~addr:d.Executor.addr with
-    | `Done _ | `Mshr_full -> ());
-    `Issued (s.cycle + 1)
-  | op -> `Issued (s.cycle + Isa.exec_latency op)
+    ignore (Memory_system.load_raw s.mem ~cycle:s.cycle ~addr:d.Executor.addr);
+    s.cycle + 1
+  | op -> s.cycle + Isa.exec_latency op
 
 (* Select-then-arbitrate: up to issue-width selections per cycle in policy
    order; a selected instruction issues only if a port of its class is
@@ -218,65 +220,67 @@ let execute s rob_idx =
    stays ready.  This is where selection order matters: under the baseline
    policy a burst of older ready instructions starves younger critical
    ones, which is precisely what CRISP's PRIO vector repairs. *)
-let issue s =
-  Scheduler.begin_cycle s.sched;
-  let alu = ref s.cfg.Cpu_config.alu_ports in
-  let ld = ref s.cfg.Cpu_config.load_ports in
-  let st = ref s.cfg.Cpu_config.store_ports in
-  let picks = ref 0 in
-  let continue_ = ref true in
-  while !continue_ && !picks < s.cfg.Cpu_config.fetch_width do
+let rec issue_loop s picks alu ld st =
+  if picks < s.cfg.Cpu_config.issue_width then begin
     let slot = Scheduler.select s.sched in
-    if slot < 0 then continue_ := false
-    else begin
-      incr picks;
+    if slot >= 0 then begin
       (* Selection-time introspection (scoreboard checks, tracer events)
          already ran inside [Scheduler.select] via the shared hook. *)
       let rob_idx = s.rs_owner.(slot) in
-      let e = s.rob.(rob_idx) in
-      let d = s.dyns.(e.dyn) in
-      let port =
-        match Isa.fu_of_op d.Executor.op with
-        | Isa.Fu_alu -> alu
-        | Isa.Fu_load -> ld
-        | Isa.Fu_store -> st
+      let fu = Isa.fu_of_op s.dyns.(s.rob_dyn.(rob_idx)).Executor.op in
+      let avail =
+        match fu with Isa.Fu_alu -> alu | Isa.Fu_load -> ld | Isa.Fu_store -> st
       in
-      if !port > 0 then begin
-        match execute s rob_idx with
-        | `Issued completion ->
-          decr port;
+      if avail > 0 then begin
+        let completion = execute s rob_idx in
+        if completion >= 0 then begin
           Scheduler.issue s.sched slot;
           (match s.obs with
           | Some tr ->
-            Obs_tracer.on_issue tr ~cycle:s.cycle ~dyn:e.dyn ~critical:e.critical
+            Obs_tracer.on_issue tr ~cycle:s.cycle ~dyn:s.rob_dyn.(rob_idx)
+              ~critical:s.rob_critical.(rob_idx)
           | None -> ());
-          e.rs_slot <- -1;
-          e.state <- st_issued;
-          e.completion <- completion;
-          schedule_completion s rob_idx completion
-        | `Retry ->
+          s.rob_rs_slot.(rob_idx) <- -1;
+          s.rob_state.(rob_idx) <- st_issued;
+          Event_wheel.add s.wheel ~now:s.cycle ~cycle:completion rob_idx
+        end
+        else begin
           (* MSHRs full: the port is consumed by the replay; drop readiness
              and retry next cycle. *)
-          decr port;
           Scheduler.unready s.sched slot;
           (match s.obs with
-          | Some tr -> Obs_tracer.on_mshr_retry tr ~cycle:s.cycle ~dyn:e.dyn
+          | Some tr ->
+            Obs_tracer.on_mshr_retry tr ~cycle:s.cycle ~dyn:s.rob_dyn.(rob_idx)
           | None -> ());
-          s.mshr_retry <- rob_idx :: s.mshr_retry
+          s.mshr_retry.(s.mshr_retry_len) <- rob_idx;
+          s.mshr_retry_len <- s.mshr_retry_len + 1
+        end;
+        match fu with
+        | Isa.Fu_alu -> issue_loop s (picks + 1) (alu - 1) ld st
+        | Isa.Fu_load -> issue_loop s (picks + 1) alu (ld - 1) st
+        | Isa.Fu_store -> issue_loop s (picks + 1) alu ld (st - 1)
       end
+      else
+        (* No free port of this class: the selection slot is wasted. *)
+        issue_loop s (picks + 1) alu ld st
     end
-  done
+  end
+
+let issue s =
+  Scheduler.begin_cycle s.sched;
+  issue_loop s 0 s.cfg.Cpu_config.alu_ports s.cfg.Cpu_config.load_ports
+    s.cfg.Cpu_config.store_ports
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch: rename, allocate ROB/RS/LQ/SQ, build dependency edges.    *)
 (* ------------------------------------------------------------------ *)
 
-let add_dep s consumer_idx producer_idx =
-  let producer = s.rob.(producer_idx) in
-  if producer.state < st_done then begin
-    let consumer = s.rob.(consumer_idx) in
-    producer.dependents <- consumer_idx :: producer.dependents;
-    consumer.deps_left <- consumer.deps_left + 1
+let add_dep s consumer producer =
+  if s.rob_state.(producer) < st_done then begin
+    (* The consumer's edge id is its producer-operand ordinal (0..2):
+       src1, src2 and store-forward each claim a distinct link. *)
+    Wakeup.push s.wakeup ~producer ~consumer ~link:s.rob_deps_left.(consumer);
+    s.rob_deps_left.(consumer) <- s.rob_deps_left.(consumer) + 1
   end
 
 let dispatch_one s dyn_idx =
@@ -284,25 +288,24 @@ let dispatch_one s dyn_idx =
   let op = d.Executor.op in
   let is_load = op = Isa.Load in
   let is_store = op = Isa.Store in
-  if rob_full s then `Stall
-  else if is_load && s.lq_count >= s.cfg.Cpu_config.lq_size then `Stall
-  else if is_store && s.sq_count >= s.cfg.Cpu_config.sq_size then `Stall
+  if rob_full s then false
+  else if is_load && s.lq_count >= s.cfg.Cpu_config.lq_size then false
+  else if is_store && s.sq_count >= s.cfg.Cpu_config.sq_size then false
   else begin
     let critical = s.critical_of dyn_idx in
-    match Scheduler.allocate s.sched ~critical with
-    | None -> `Stall
-    | Some slot ->
+    let slot = Scheduler.allocate_slot s.sched ~critical in
+    if slot < 0 then false
+    else begin
       let rob_idx = rob_tail s in
       s.rob_count <- s.rob_count + 1;
-      let e = s.rob.(rob_idx) in
-      e.dyn <- dyn_idx;
-      e.state <- st_waiting;
-      e.deps_left <- 0;
-      e.dependents <- [];
-      e.critical <- critical;
-      e.rs_slot <- slot;
-      e.forward <- false;
-      e.level <- None;
+      s.rob_dyn.(rob_idx) <- dyn_idx;
+      s.rob_state.(rob_idx) <- st_waiting;
+      s.rob_deps_left.(rob_idx) <- 0;
+      Wakeup.reset s.wakeup rob_idx;
+      s.rob_critical.(rob_idx) <- critical;
+      s.rob_rs_slot.(rob_idx) <- slot;
+      s.rob_forward.(rob_idx) <- false;
+      s.rob_level.(rob_idx) <- 0;
       s.rs_owner.(slot) <- rob_idx;
       (* Register dependencies through the rename table. *)
       if d.Executor.src1 >= 0 then begin
@@ -317,42 +320,40 @@ let dispatch_one s dyn_idx =
          address waits for the store and then forwards. *)
       if is_load then begin
         s.lq_count <- s.lq_count + 1;
-        match Hashtbl.find_opt s.store_map d.Executor.addr with
-        | Some store_idx ->
-          e.forward <- true;
+        let store_idx = Int_table.find s.store_map d.Executor.addr in
+        if store_idx >= 0 then begin
+          s.rob_forward.(rob_idx) <- true;
           add_dep s rob_idx store_idx
-        | None -> ()
+        end
       end;
       if is_store then begin
         s.sq_count <- s.sq_count + 1;
-        Hashtbl.replace s.store_map d.Executor.addr rob_idx
+        Int_table.replace s.store_map d.Executor.addr rob_idx
       end;
       if d.Executor.dst >= 0 then s.rename.(d.Executor.dst) <- rob_idx;
-      if e.deps_left = 0 then begin
-        e.state <- st_ready;
+      if s.rob_deps_left.(rob_idx) = 0 then begin
+        s.rob_state.(rob_idx) <- st_ready;
         Scheduler.mark_ready s.sched slot
       end;
       (match s.obs with
       | Some tr ->
         Obs_tracer.on_dispatch tr ~cycle:s.cycle ~dyn:dyn_idx ~rob:rob_idx ~critical
       | None -> ());
-      `Dispatched
+      true
+    end
   end
 
-let dispatch s =
-  let dispatched = ref 0 in
-  let continue_ = ref true in
-  while !continue_ && !dispatched < s.cfg.Cpu_config.fetch_width
-        && not (Queue.is_empty s.fq) do
-    let dyn_idx, ready_cycle = Queue.peek s.fq in
-    if ready_cycle > s.cycle then continue_ := false
-    else
-      match dispatch_one s dyn_idx with
-      | `Stall -> continue_ := false
-      | `Dispatched ->
-        ignore (Queue.pop s.fq);
-        incr dispatched
-  done
+let rec dispatch_loop s dispatched =
+  if dispatched < s.cfg.Cpu_config.fetch_width && s.fq_len > 0
+     && s.fq_ready.(s.fq_head) <= s.cycle
+     && dispatch_one s s.fq_dyn.(s.fq_head)
+  then begin
+    s.fq_head <- (s.fq_head + 1) mod s.fq_cap;
+    s.fq_len <- s.fq_len - 1;
+    dispatch_loop s (dispatched + 1)
+  end
+
+let dispatch s = dispatch_loop s 0
 
 (* ------------------------------------------------------------------ *)
 (* Fetch: follow the trace, model icache, predictors and redirects.    *)
@@ -379,11 +380,7 @@ let fetch_control s dyn_idx (d : Executor.dyn) =
     end
     else if d.Executor.taken then begin
       (* Correctly predicted taken: the target must come from the BTB. *)
-      let target_ok =
-        match Btb.lookup s.btb ~pc:d.Executor.pc with
-        | Some target -> target = d.Executor.next_pc
-        | None -> false
-      in
+      let target_ok = Btb.find_target s.btb ~pc:d.Executor.pc = d.Executor.next_pc in
       Btb.update s.btb ~pc:d.Executor.pc ~target:d.Executor.next_pc;
       if target_ok then `End_group
       else begin
@@ -398,82 +395,98 @@ let fetch_control s dyn_idx (d : Executor.dyn) =
   | Isa.Call ->
     Ras.push s.ras (d.Executor.pc + 1);
     `End_group
-  | Isa.Ret -> begin
-    match Ras.pop s.ras with
-    | Some target when target = d.Executor.next_pc -> `End_group
-    | Some _ | None ->
+  | Isa.Ret ->
+    if Ras.pop_value s.ras = d.Executor.next_pc then `End_group
+    else begin
       s.ras_mispredicts <- s.ras_mispredicts + 1;
       obs_redirect s dyn_idx `Ras_mispredict;
       s.waiting_dyn <- dyn_idx;
       `Blocked
-  end
+    end
   | _ -> `Continue
 
-let fetch s =
-  let n = Array.length s.dyns in
-  if s.cycle >= s.fetch_blocked_until && s.waiting_dyn < 0 then begin
-    let fetched = ref 0 in
-    let continue_ = ref true in
-    while !continue_ && !fetched < s.cfg.Cpu_config.fetch_width && s.fetch_idx < n
-          && Queue.length s.fq < s.fq_cap do
-      let dyn_idx = s.fetch_idx in
-      let d = s.dyns.(dyn_idx) in
-      let addr = Layout.addr_of s.layout d.Executor.pc in
-      let line = addr / line_bytes in
-      if line <> s.current_line then begin
-        let ready, _level = Memory_system.fetch s.mem ~cycle:s.cycle ~addr in
-        let mem_params = Memory_system.params s.mem in
-        if ready > s.cycle + mem_params.Memory_system.l1i_latency then begin
-          (* Instruction cache miss: fetch resumes when the line arrives. *)
-          s.fetch_blocked_until <- ready;
-          continue_ := false
-        end
-        else s.current_line <- line
-      end;
-      if !continue_ then begin
-        Queue.push (dyn_idx, s.cycle + s.cfg.Cpu_config.frontend_depth) s.fq;
-        (match s.obs with
-        | Some tr ->
-          Obs_tracer.on_fetch tr ~cycle:s.cycle ~dyn:dyn_idx ~pc:d.Executor.pc
-        | None -> ());
-        s.fetch_idx <- s.fetch_idx + 1;
-        incr fetched;
-        match fetch_control s dyn_idx d with
-        | `Continue -> ()
-        | `End_group | `Blocked -> continue_ := false
+let rec fetch_loop s n fetched =
+  if fetched < s.cfg.Cpu_config.fetch_width && s.fetch_idx < n
+     && s.fq_len < s.fq_cap
+  then begin
+    let dyn_idx = s.fetch_idx in
+    let d = s.dyns.(dyn_idx) in
+    let addr = Layout.addr_of s.layout d.Executor.pc in
+    let line = addr / line_bytes in
+    if line <> s.current_line then begin
+      let ready = Memory_system.fetch_raw s.mem ~cycle:s.cycle ~addr lsr 2 in
+      if ready > s.cycle + s.l1i_latency then
+        (* Instruction cache miss: fetch resumes when the line arrives. *)
+        s.fetch_blocked_until <- ready
+      else begin
+        s.current_line <- line;
+        fetch_one s n fetched dyn_idx d
       end
-    done
+    end
+    else fetch_one s n fetched dyn_idx d
   end
+
+and fetch_one s n fetched dyn_idx d =
+  let tail = (s.fq_head + s.fq_len) mod s.fq_cap in
+  s.fq_dyn.(tail) <- dyn_idx;
+  s.fq_ready.(tail) <- s.cycle + s.cfg.Cpu_config.frontend_depth;
+  s.fq_len <- s.fq_len + 1;
+  (match s.obs with
+  | Some tr -> Obs_tracer.on_fetch tr ~cycle:s.cycle ~dyn:dyn_idx ~pc:d.Executor.pc
+  | None -> ());
+  s.fetch_idx <- s.fetch_idx + 1;
+  match fetch_control s dyn_idx d with
+  | `Continue -> fetch_loop s n (fetched + 1)
+  | `End_group | `Blocked -> ()
+
+let fetch s =
+  if s.cycle >= s.fetch_blocked_until && s.waiting_dyn < 0 then
+    fetch_loop s (Array.length s.dyns) 0
 
 (* FDIP: run ahead of fetch along the fetch target queue and prefetch
    instruction lines.  Cannot run past an unresolved misprediction. *)
+let rec fdip_loop s limit budget scanned =
+  if budget > 0 && scanned < 64 && s.fdip_idx < limit then begin
+    let d = s.dyns.(s.fdip_idx) in
+    let addr = Layout.addr_of s.layout d.Executor.pc in
+    let budget =
+      if addr / line_bytes <> s.current_line
+         && not (Memory_system.probe_inst s.mem ~addr)
+      then begin
+        Memory_system.prefetch_inst s.mem ~cycle:s.cycle ~addr;
+        budget - 1
+      end
+      else budget
+    in
+    s.fdip_idx <- s.fdip_idx + 1;
+    fdip_loop s limit budget (scanned + 1)
+  end
+
 let fdip s =
   if s.cfg.Cpu_config.fdip then begin
     let n = Array.length s.dyns in
     let limit_dyn =
       if s.waiting_dyn >= 0 then s.waiting_dyn + 1
-      else min n (s.fetch_idx + s.cfg.Cpu_config.ftq_entries)
+      else
+        let ftq_end = s.fetch_idx + s.cfg.Cpu_config.ftq_entries in
+        if ftq_end < n then ftq_end else n
     in
     if s.fdip_idx < s.fetch_idx then s.fdip_idx <- s.fetch_idx;
-    let budget = ref 2 in
-    let scanned = ref 0 in
-    while !budget > 0 && !scanned < 64 && s.fdip_idx < limit_dyn do
-      let d = s.dyns.(s.fdip_idx) in
-      let addr = Layout.addr_of s.layout d.Executor.pc in
-      if addr / line_bytes <> s.current_line
-         && not (Memory_system.probe_inst s.mem ~addr)
-      then begin
-        Memory_system.prefetch_inst s.mem ~cycle:s.cycle ~addr;
-        decr budget
-      end;
-      s.fdip_idx <- s.fdip_idx + 1;
-      incr scanned
-    done
+    fdip_loop s limit_dyn 2 0
   end
 
 (* ------------------------------------------------------------------ *)
 (* Top level.                                                          *)
 (* ------------------------------------------------------------------ *)
+
+(* Entries in [st_waiting] or [st_ready] are exactly those resident in a
+   reservation-station slot. *)
+let rec count_rs_resident s i acc =
+  if i < 0 then acc
+  else
+    let st = s.rob_state.(i) in
+    count_rs_resident s (i - 1)
+      (if st = st_waiting || st = st_ready then acc + 1 else acc)
 
 let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
   let dyns = trace.Executor.dyns in
@@ -494,30 +507,47 @@ let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
     | Static_tags f -> fun dyn_idx -> f dyns.(dyn_idx).Executor.pc
     | Dynamic_tags f -> f
   in
+  let rob_size = cfg.Cpu_config.rob_size in
+  let fq_cap = max 32 (cfg.Cpu_config.fetch_width * (cfg.Cpu_config.frontend_depth + 3)) in
+  let mem = Memory_system.create cfg.Cpu_config.mem in
+  let mem_params = Memory_system.params mem in
   let s =
     { cfg;
       dyns;
       layout;
       critical_of;
-      mem = Memory_system.create cfg.Cpu_config.mem;
+      mem;
       tage = Tage.create ();
       btb = Btb.create ~entries:cfg.Cpu_config.btb_entries ();
       ras = Ras.create ~depth:cfg.Cpu_config.ras_depth ();
       sched =
         Scheduler.create ~seed:cfg.Cpu_config.seed ~slots:cfg.Cpu_config.rs_size
           cfg.Cpu_config.policy;
-      rob = Array.init cfg.Cpu_config.rob_size (fun _ -> fresh_entry ());
+      rob_dyn = Array.make rob_size (-1);
+      rob_state = Array.make rob_size st_empty;
+      rob_deps_left = Array.make rob_size 0;
+      rob_critical = Array.make rob_size false;
+      rob_rs_slot = Array.make rob_size (-1);
+      rob_forward = Array.make rob_size false;
+      rob_level = Array.make rob_size 0;
+      wakeup = Wakeup.create rob_size;
       rob_head = 0;
       rob_count = 0;
       rename = Array.make Isa.num_regs (-1);
       rs_owner = Array.make cfg.Cpu_config.rs_size (-1);
-      store_map = Hashtbl.create 256;
+      store_map = Int_table.create cfg.Cpu_config.sq_size;
       lq_count = 0;
       sq_count = 0;
-      calendar = Hashtbl.create 1024;
-      mshr_retry = [];
-      fq = Queue.create ();
-      fq_cap = max 32 (cfg.Cpu_config.fetch_width * (cfg.Cpu_config.frontend_depth + 3));
+      wheel = Event_wheel.create ~horizon:wheel_horizon ();
+      mshr_retry = Array.make cfg.Cpu_config.rs_size 0;
+      mshr_retry_len = 0;
+      fq_dyn = Array.make fq_cap 0;
+      fq_ready = Array.make fq_cap 0;
+      fq_cap;
+      fq_head = 0;
+      fq_len = 0;
+      l1d_latency = mem_params.Memory_system.l1d_latency;
+      l1i_latency = mem_params.Memory_system.l1i_latency;
       fetch_idx = 0;
       fetch_blocked_until = 0;
       waiting_dyn = -1;
@@ -534,7 +564,7 @@ let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
       stall_other_load = 0;
       stall_long_op = 0;
       stall_other = 0;
-      mlp_sum = 0.;
+      mlp_sum_units = 0;
       mlp_cycles = 0;
       critical_retired = 0;
       upc_timeline =
@@ -553,15 +583,17 @@ let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
     Scheduler.set_on_select s.sched
       (Some
          (fun ~slot ~prio_override ->
-           let e = s.rob.(s.rs_owner.(slot)) in
+           let rob_idx = s.rs_owner.(slot) in
            (match sb with
            | Some sb ->
              Scoreboard.check_select sb s.sched ~cycle:s.cycle ~slot
-               ~ready:(e.state = st_ready) ~deps_left:e.deps_left
+               ~ready:(s.rob_state.(rob_idx) = st_ready)
+               ~deps_left:s.rob_deps_left.(rob_idx)
            | None -> ());
            match obs with
            | Some tr ->
-             Obs_tracer.on_select tr ~cycle:s.cycle ~dyn:e.dyn ~prio_override
+             Obs_tracer.on_select tr ~cycle:s.cycle ~dyn:s.rob_dyn.(rob_idx)
+               ~prio_override
            | None -> ())));
   (match s.obs with
   | Some tr -> Memory_system.set_tracer s.mem (Some tr)
@@ -586,7 +618,7 @@ let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
     fdip s;
     let outstanding = Memory_system.outstanding_misses s.mem ~cycle:s.cycle in
     if outstanding > 0 then begin
-      s.mlp_sum <- s.mlp_sum +. float_of_int outstanding;
+      s.mlp_sum_units <- s.mlp_sum_units + outstanding;
       s.mlp_cycles <- s.mlp_cycles + 1
     end;
     (match s.obs with
@@ -596,28 +628,24 @@ let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
     | None -> ());
     (match s.sb with
     | Some sb ->
-      (* Entries in [st_waiting] or [st_ready] are exactly those resident
-         in a reservation-station slot. *)
-      let resident = ref 0 in
-      Array.iter
-        (fun e -> if e.state = st_waiting || e.state = st_ready then incr resident)
-        s.rob;
-      Scoreboard.check_cycle sb s.sched ~cycle:s.cycle ~rs_resident:!resident
+      Scoreboard.check_cycle sb s.sched ~cycle:s.cycle
+        ~rs_resident:(count_rs_resident s (rob_size - 1) 0)
     | None -> ());
     s.cycle <- s.cycle + 1
   done;
-  let loads = ref 0 and stores = ref 0 in
-  Array.iter
-    (fun (d : Executor.dyn) ->
-      match d.Executor.op with
-      | Isa.Load -> incr loads
-      | Isa.Store -> incr stores
-      | _ -> ())
-    dyns;
+  let rec count_ops i loads stores =
+    if i = n then (loads, stores)
+    else
+      match dyns.(i).Executor.op with
+      | Isa.Load -> count_ops (i + 1) (loads + 1) stores
+      | Isa.Store -> count_ops (i + 1) loads (stores + 1)
+      | _ -> count_ops (i + 1) loads stores
+  in
+  let loads, stores = count_ops 0 0 0 in
   { Cpu_stats.cycles = s.cycle;
     retired = s.retired;
-    loads = !loads;
-    stores = !stores;
+    loads;
+    stores;
     branches = s.branches;
     branch_mispredicts = s.branch_mispredicts;
     btb_misses = s.btb_misses;
@@ -628,7 +656,9 @@ let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
         other_load = s.stall_other_load;
         long_op = s.stall_long_op;
         other = s.stall_other };
-    mlp_sum = s.mlp_sum;
+    (* Each per-cycle observation is an integer, so the int sum converts
+       exactly: bit-identical to the old float accumulation. *)
+    mlp_sum = float_of_int s.mlp_sum_units;
     mlp_cycles = s.mlp_cycles;
     critical_retired = s.critical_retired;
     mem = Memory_system.stats s.mem;

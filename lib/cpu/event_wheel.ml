@@ -1,0 +1,101 @@
+(* Calendar queue for completion events, replacing the
+   [(int, int list) Hashtbl.t] calendar of the cycle loop.
+
+   A ring of pre-allocated int vectors indexed by [cycle land (horizon-1)].
+   The consumer drains every cycle in nondecreasing order, so a slot is
+   always empty again by the time the wheel wraps back onto it — any event
+   scheduled less than [horizon] cycles ahead goes straight into its slot.
+   Events further out than the horizon (pathological DRAM queueing delays:
+   [Dram.busy_until] accumulates without bound) land in a small overflow
+   bucket scanned only on cycles where it is non-empty.
+
+   Steady state allocates nothing: slot vectors grow by doubling on the
+   rare capacity hit and are then reused forever. *)
+
+type t = {
+  horizon : int;           (* power of two *)
+  mask : int;
+  slot_data : int array array;  (* per-slot event payloads, newest last *)
+  slot_len : int array;
+  mutable ov_cycle : int array;  (* overflow bucket, parallel arrays *)
+  mutable ov_data : int array;
+  mutable ov_len : int;
+  mutable pending : int;
+}
+
+let default_slot_capacity = 8
+
+let create ?(slot_capacity = default_slot_capacity) ~horizon () =
+  if horizon <= 0 || horizon land (horizon - 1) <> 0 then
+    invalid_arg "Event_wheel.create: horizon must be a positive power of two";
+  { horizon;
+    mask = horizon - 1;
+    slot_data = Array.init horizon (fun _ -> Array.make slot_capacity 0);
+    slot_len = Array.make horizon 0;
+    ov_cycle = Array.make 16 0;
+    ov_data = Array.make 16 0;
+    ov_len = 0;
+    pending = 0 }
+
+let horizon t = t.horizon
+
+let pending t = t.pending
+
+let overflow_length t = t.ov_len
+
+let grow a = Array.append a (Array.make (Array.length a) 0)
+
+let add t ~now ~cycle data =
+  if data < 0 then invalid_arg "Event_wheel.add: data must be non-negative";
+  if cycle <= now then invalid_arg "Event_wheel.add: cycle must be in the future";
+  if cycle - now < t.horizon then begin
+    let s = cycle land t.mask in
+    let len = t.slot_len.(s) in
+    if len = Array.length t.slot_data.(s) then
+      t.slot_data.(s) <- grow t.slot_data.(s);
+    t.slot_data.(s).(len) <- data;
+    t.slot_len.(s) <- len + 1
+  end
+  else begin
+    if t.ov_len = Array.length t.ov_cycle then begin
+      t.ov_cycle <- grow t.ov_cycle;
+      t.ov_data <- grow t.ov_data
+    end;
+    t.ov_cycle.(t.ov_len) <- cycle;
+    t.ov_data.(t.ov_len) <- data;
+    t.ov_len <- t.ov_len + 1
+  end;
+  t.pending <- t.pending + 1
+
+(* Overflow scan: return the payload of the last bucket entry due at
+   [cycle], compacting order-preservingly, or -1.  The bucket is nearly
+   always empty; entries due this cycle are rarer still. *)
+let rec pop_overflow t ~cycle i =
+  if i < 0 then -1
+  else if t.ov_cycle.(i) = cycle then begin
+    let data = t.ov_data.(i) in
+    (* shift the tail down one to keep insertion order *)
+    let tail = t.ov_len - i - 1 in
+    if tail > 0 then begin
+      Array.blit t.ov_cycle (i + 1) t.ov_cycle i tail;
+      Array.blit t.ov_data (i + 1) t.ov_data i tail
+    end;
+    t.ov_len <- t.ov_len - 1;
+    data
+  end
+  else pop_overflow t ~cycle (i - 1)
+
+let pop t ~cycle =
+  let s = cycle land t.mask in
+  let len = t.slot_len.(s) in
+  if len > 0 then begin
+    t.slot_len.(s) <- len - 1;
+    t.pending <- t.pending - 1;
+    t.slot_data.(s).(len - 1)
+  end
+  else if t.ov_len > 0 then begin
+    let data = pop_overflow t ~cycle (t.ov_len - 1) in
+    if data >= 0 then t.pending <- t.pending - 1;
+    data
+  end
+  else -1

@@ -1,0 +1,33 @@
+(** Fixed-horizon event wheel: the cycle loop's completion calendar.
+
+    Pre-allocated ring of int vectors indexed by [cycle mod horizon], with
+    a small overflow bucket for events scheduled further out than the
+    horizon (unbounded DRAM queueing delays).  Steady state performs no
+    minor-heap allocation.
+
+    Consumer contract: {!pop} must be drained to exhaustion on every cycle,
+    in nondecreasing cycle order — that is what guarantees a ring slot is
+    empty again before the wheel wraps back onto it. *)
+
+type t
+
+val create : ?slot_capacity:int -> horizon:int -> unit -> t
+(** [horizon] must be a positive power of two, at least the common-case
+    maximum event latency (events beyond it still work, via the overflow
+    bucket, just more slowly). *)
+
+val add : t -> now:int -> cycle:int -> int -> unit
+(** Schedule payload [data >= 0] for [cycle > now]. *)
+
+val pop : t -> cycle:int -> int
+(** Next payload due at exactly [cycle], or [-1] when none remain.  Events
+    of one cycle are delivered newest-first (LIFO), matching the
+    prepend-then-iterate order of the Hashtbl calendar it replaces. *)
+
+val pending : t -> int
+(** Events scheduled and not yet popped. *)
+
+val horizon : t -> int
+
+val overflow_length : t -> int
+(** Events currently parked in the overflow bucket (diagnostics). *)

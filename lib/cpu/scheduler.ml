@@ -42,8 +42,8 @@ let free_slots t = t.free_count
 
 let occupancy t = Age_matrix.slots t.matrix - t.free_count
 
-let allocate t ~critical =
-  if t.free_count = 0 then None
+let allocate_slot t ~critical =
+  if t.free_count = 0 then -1
   else begin
     (* RAND allocation: newly fetched instructions land in random slots. *)
     let pick = Prng.int t.rng t.free_count in
@@ -52,8 +52,11 @@ let allocate t ~critical =
     t.free_count <- t.free_count - 1;
     Age_matrix.insert t.matrix slot;
     if critical then Bitset.set t.critical slot;
-    Some slot
+    slot
   end
+
+let allocate t ~critical =
+  match allocate_slot t ~critical with -1 -> None | slot -> Some slot
 
 let mark_ready t slot = Bitset.set t.ready slot
 
@@ -67,40 +70,15 @@ let candidates t =
 let pick_random t cand =
   let n = Bitset.count cand in
   if n = 0 then -1
-  else begin
-    let target = Prng.int t.rng n in
-    let seen = ref 0 in
-    let winner = ref (-1) in
-    Bitset.iter_set
-      (fun s ->
-        if !seen = target && !winner = -1 then winner := s;
-        incr seen)
-      cand;
-    !winner
-  end
+  else
+    (* The n-th set bit in index order is exactly the slot the old
+       full-iteration walk landed on; nth_set stops at the winner. *)
+    Bitset.nth_set cand (Prng.int t.rng n)
 
-let select t =
-  let cand = candidates t in
-  let slot, prio_override =
-    match t.policy with
-    | Oldest_ready -> (Age_matrix.pick_oldest t.matrix cand, false)
-    | Random_ready -> (pick_random t cand, false)
-    | Crisp ->
-      (* PRIO = ready AND critical AND not selected; fall back to the plain
-         oldest-ready pick when no prioritised candidate remains. *)
-      Bitset.inter_into ~a:cand ~b:t.critical ~dst:t.scratch2;
-      let prio_pick = Age_matrix.pick_oldest t.matrix t.scratch2 in
-      if prio_pick >= 0 then begin
-        (* The override comparison is only of interest to observers; skip
-           the extra (read-only) age-matrix reduction when none listens. *)
-        let overrode =
-          Option.is_some t.on_select
-          && Age_matrix.pick_oldest t.matrix cand <> prio_pick
-        in
-        (prio_pick, overrode)
-      end
-      else (Age_matrix.pick_oldest t.matrix cand, false)
-  in
+(* Tail of [select]: record and announce a successful pick.  Split out so
+   each policy arm can call it directly instead of building an
+   intermediate (slot, prio_override) tuple on the minor heap. *)
+let finish t slot prio_override =
   if slot >= 0 then begin
     Bitset.set t.selected slot;
     match t.on_select with
@@ -108,6 +86,27 @@ let select t =
     | None -> ()
   end;
   slot
+
+let select t =
+  let cand = candidates t in
+  match t.policy with
+  | Oldest_ready -> finish t (Age_matrix.pick_oldest t.matrix cand) false
+  | Random_ready -> finish t (pick_random t cand) false
+  | Crisp ->
+    (* PRIO = ready AND critical AND not selected; fall back to the plain
+       oldest-ready pick when no prioritised candidate remains. *)
+    Bitset.inter_into ~a:cand ~b:t.critical ~dst:t.scratch2;
+    let prio_pick = Age_matrix.pick_oldest t.matrix t.scratch2 in
+    if prio_pick >= 0 then begin
+      (* The override comparison is only of interest to observers; skip
+         the extra (read-only) age-matrix reduction when none listens. *)
+      let overrode =
+        Option.is_some t.on_select
+        && Age_matrix.pick_oldest t.matrix cand <> prio_pick
+      in
+      finish t prio_pick overrode
+    end
+    else finish t (Age_matrix.pick_oldest t.matrix cand) false
 
 let issue t slot =
   Age_matrix.remove t.matrix slot;

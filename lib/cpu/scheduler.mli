@@ -33,6 +33,10 @@ val allocate : t -> critical:bool -> int option
 (** Claim a random free slot for a newly dispatched instruction; [None]
     when the RS is full.  The instruction starts not-ready. *)
 
+val allocate_slot : t -> critical:bool -> int
+(** Same as {!allocate} but returns [-1] instead of [None] when the RS is
+    full — the allocation-free variant the cycle loop uses. *)
+
 val mark_ready : t -> int -> unit
 (** Source operands became available: raise the slot's BID (and, when the
     instruction is critical, PRIO) bit. *)

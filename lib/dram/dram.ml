@@ -19,6 +19,7 @@ type bank = {
 
 type t = {
   params : params;
+  row_shift : int;  (* log2 row_bytes, or -1 when not a power of two *)
   bank_state : bank array;
   mutable bus_busy_until : int;
   mutable requests : int;
@@ -26,27 +27,31 @@ type t = {
   mutable row_conflicts : int;
 }
 
+let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1)
+
 let create params =
   { params;
+    row_shift =
+      (if params.row_bytes land (params.row_bytes - 1) = 0 then
+         log2 params.row_bytes 0
+       else -1);
     bank_state = Array.init params.banks (fun _ -> { open_row = -1; busy_until = 0 });
     bus_busy_until = 0;
     requests = 0;
     row_hits = 0;
     row_conflicts = 0 }
 
-(* Spread consecutive rows over banks so streaming uses bank parallelism,
-   with a seed-dependent hash to avoid pathological aliasing. *)
-let map_addr t addr =
-  let row_index = addr / t.params.row_bytes in
-  let hashed = row_index lxor (row_index lsr 7) lxor t.params.seed in
-  let bank = hashed land (t.params.banks - 1) in
-  (bank, row_index)
-
 let request t ~cycle ~addr =
-  let bank_id, row = map_addr t addr in
-  let bank = t.bank_state.(bank_id) in
+  (* Spread consecutive rows over banks so streaming uses bank parallelism,
+     with a seed-dependent hash to avoid pathological aliasing. *)
+  (* Addresses are non-negative, so the shift is the division. *)
+  let row =
+    if t.row_shift >= 0 then addr lsr t.row_shift else addr / t.params.row_bytes
+  in
+  let hashed = row lxor (row lsr 7) lxor t.params.seed in
+  let bank = t.bank_state.(hashed land (t.params.banks - 1)) in
   t.requests <- t.requests + 1;
-  let start = max cycle bank.busy_until in
+  let start = if cycle > bank.busy_until then cycle else bank.busy_until in
   let access_latency =
     if bank.open_row = row then begin
       t.row_hits <- t.row_hits + 1;
@@ -60,7 +65,9 @@ let request t ~cycle ~addr =
   in
   bank.open_row <- row;
   let data_ready = start + access_latency in
-  let data_start = max data_ready t.bus_busy_until in
+  let data_start =
+    if data_ready > t.bus_busy_until then data_ready else t.bus_busy_until
+  in
   let completion = data_start + t.params.t_burst in
   t.bus_busy_until <- data_start + t.params.t_burst;
   bank.busy_until <- data_ready;

@@ -30,6 +30,20 @@ type level =
   | Llc
   | Mem
 
+(* Serving level as a small int, for the unboxed [load_raw]/[fetch_raw]
+   interface: a timing result is packed as [(ready lsl 2) lor code]. *)
+let code_l1 = 1
+let code_llc = 2
+let code_mem = 3
+
+let level_of_code = function
+  | 1 -> L1
+  | 2 -> Llc
+  | 3 -> Mem
+  | c -> invalid_arg (Printf.sprintf "Memory_system.level_of_code: %d" c)
+
+let inst_mshrs = 16
+
 type t = {
   p : params;
   l1i : Cache.t;
@@ -38,22 +52,38 @@ type t = {
   dram : Dram.t;
   bop : Bop.t;
   stream : Stream_prefetcher.t;
-  outstanding_d : (int, int * level) Hashtbl.t;  (* line -> ready cycle, level *)
-  outstanding_i : (int, int) Hashtbl.t;
+  (* Flat MSHR file for demand-load misses, replacing the
+     [line -> (ready, level)] Hashtbl.  A slot is live iff its ready
+     cycle is still in the future; freeing is implicit, so there is no
+     per-cycle purge and occupancy is an O(mshrs) scan. *)
+  d_line : int array;
+  d_ready : int array;
+  d_level : int array;
+  (* Instruction-fetch misses, same layout.  The old Hashtbl was never
+     purged and grew with every line ever missed; the frontend keeps only
+     a handful of fetches in flight, so a small fixed file suffices. *)
+  i_line : int array;
+  i_ready : int array;
+  stream_buf : int array;  (* scratch for Stream_prefetcher.access_into *)
   mutable prefetches_issued : int;
   mutable tracer : Obs_tracer.t option;  (* observability sink, write-only *)
 }
 
 let create p =
+  let stream = Stream_prefetcher.create () in
   { p;
     l1i = Cache.create ~name:"L1I" p.l1i;
     l1d = Cache.create ~name:"L1D" p.l1d;
     llc = Cache.create ~name:"LLC" p.llc;
     dram = Dram.create p.dram;
     bop = Bop.create ();
-    stream = Stream_prefetcher.create ();
-    outstanding_d = Hashtbl.create 64;
-    outstanding_i = Hashtbl.create 64;
+    stream;
+    d_line = Array.make p.mshrs (-1);
+    d_ready = Array.make p.mshrs 0;
+    d_level = Array.make p.mshrs 0;
+    i_line = Array.make inst_mshrs (-1);
+    i_ready = Array.make inst_mshrs 0;
+    stream_buf = Array.make (Stream_prefetcher.degree stream) 0;
     prefetches_issued = 0;
     tracer = None }
 
@@ -63,19 +93,23 @@ let set_tracer t tracer = t.tracer <- tracer
 
 let line_of addr = addr / line_bytes
 
-(* Count in-flight demand fills, discarding completed entries as we go. *)
-let purge_and_count table ready_of cycle =
-  let stale = ref [] in
-  let live = ref 0 in
-  Hashtbl.iter
-    (fun line entry ->
-      if ready_of entry > cycle then incr live else stale := line :: !stale)
-    table;
-  List.iter (Hashtbl.remove table) !stale;
-  !live
+(* MSHR-file scans.  At most one slot is ever live for a given line:
+   inserts only happen after the merge scan found none. *)
+let rec d_find_live t ~cycle ~line i =
+  if i = Array.length t.d_ready then -1
+  else if t.d_ready.(i) > cycle && t.d_line.(i) = line then i
+  else d_find_live t ~cycle ~line (i + 1)
 
-let outstanding_misses t ~cycle =
-  purge_and_count t.outstanding_d (fun (ready, _) -> ready) cycle
+let rec d_first_free t ~cycle i =
+  if i = Array.length t.d_ready then -1
+  else if t.d_ready.(i) <= cycle then i
+  else d_first_free t ~cycle (i + 1)
+
+let rec d_live_count t ~cycle i acc =
+  if i = Array.length t.d_ready then acc
+  else d_live_count t ~cycle (i + 1) (if t.d_ready.(i) > cycle then acc + 1 else acc)
+
+let outstanding_misses t ~cycle = d_live_count t ~cycle 0 0
 
 (* Issue a prefetch fill for [line]: install in LLC (and L1D) and charge
    DRAM bandwidth when the line was not on chip. *)
@@ -100,47 +134,61 @@ let train_data_prefetchers t ~cycle ~addr =
   let line = line_of addr in
   if t.p.enable_bop then begin
     Bop.train t.bop ~line;
-    match Bop.query t.bop ~line with
-    | Some target -> prefetch_line t ~cycle target
-    | None -> ()
+    let target = Bop.query_line t.bop ~line in
+    if target >= 0 then prefetch_line t ~cycle target
   end;
-  if t.p.enable_stream then
-    List.iter (prefetch_line t ~cycle) (Stream_prefetcher.access t.stream ~line)
+  if t.p.enable_stream then begin
+    let n = Stream_prefetcher.access_into t.stream ~line ~into:t.stream_buf in
+    for k = 0 to n - 1 do
+      prefetch_line t ~cycle t.stream_buf.(k)
+    done
+  end
 
-let load t ~cycle ~addr =
+let load_raw t ~cycle ~addr =
   let line = line_of addr in
-  match Hashtbl.find_opt t.outstanding_d line with
-  | Some (ready, level) when ready > cycle ->
+  let merge = d_find_live t ~cycle ~line 0 in
+  if merge >= 0 then
     (* Merge with the in-flight fill for this line. *)
-    `Done (ready, level)
-  | _ ->
-    if Cache.probe t.l1d ~addr then begin
-      (match Cache.access_info t.l1d ~addr with
-      | `Hit_prefetched -> train_data_prefetchers t ~cycle ~addr
-      | `Hit | `Miss -> ());
-      `Done (cycle + t.p.l1d_latency, L1)
-    end
-    else if purge_and_count t.outstanding_d (fun (ready, _) -> ready) cycle
-            >= t.p.mshrs
-    then `Mshr_full
+    (t.d_ready.(merge) lsl 2) lor t.d_level.(merge)
+  else if Cache.probe t.l1d ~addr then begin
+    (match Cache.access_info t.l1d ~addr with
+    | `Hit_prefetched -> train_data_prefetchers t ~cycle ~addr
+    | `Hit | `Miss -> ());
+    ((cycle + t.p.l1d_latency) lsl 2) lor code_l1
+  end
+  else begin
+    let slot = d_first_free t ~cycle 0 in
+    if slot < 0 then -1 (* MSHRs full: retry next cycle *)
     else begin
       ignore (Cache.access_info t.l1d ~addr);
       train_data_prefetchers t ~cycle ~addr;
-      let ready, level =
+      let hit_llc =
         match Cache.access_info t.llc ~addr with
-        | `Hit | `Hit_prefetched -> (cycle + t.p.llc_latency, Llc)
-        | `Miss ->
-          (Dram.request t.dram ~cycle:(cycle + t.p.llc_latency) ~addr, Mem)
+        | `Hit | `Hit_prefetched -> true
+        | `Miss -> false
       in
+      let ready =
+        if hit_llc then cycle + t.p.llc_latency
+        else Dram.request t.dram ~cycle:(cycle + t.p.llc_latency) ~addr
+      in
+      let code = if hit_llc then code_llc else code_mem in
       (match t.tracer with
       | Some tr ->
         Obs_tracer.on_l1d_miss tr ~cycle ~addr
-          ~level:(match level with Mem -> `Mem | Llc | L1 -> `Llc)
+          ~level:(if hit_llc then `Llc else `Mem)
       | None -> ());
-      Hashtbl.replace t.outstanding_d line (ready, level);
+      t.d_line.(slot) <- line;
+      t.d_ready.(slot) <- ready;
+      t.d_level.(slot) <- code;
       Bop.record_fill t.bop ~line;
-      `Done (ready, level)
+      (ready lsl 2) lor code
     end
+  end
+
+let load t ~cycle ~addr =
+  match load_raw t ~cycle ~addr with
+  | -1 -> `Mshr_full
+  | packed -> `Done (packed lsr 2, level_of_code (packed land 3))
 
 let store_commit t ~cycle ~addr =
   (* Write-allocate; the store buffer hides the fill latency. *)
@@ -154,31 +202,51 @@ let store_commit t ~cycle ~addr =
   end;
   ignore (Cache.access_info t.l1d ~addr)
 
-let fetch t ~cycle ~addr =
+let rec i_find_live t ~cycle ~line i =
+  if i = Array.length t.i_ready then -1
+  else if t.i_ready.(i) > cycle && t.i_line.(i) = line then i
+  else i_find_live t ~cycle ~line (i + 1)
+
+(* Claim a slot for a new fetch miss: first implicitly-free one, or — if
+   the frontend somehow has more misses in flight than slots — the one
+   closest to completion (whose merge window we then lose, nothing else). *)
+let rec i_claim t ~cycle i best =
+  if i = Array.length t.i_ready then best
+  else if t.i_ready.(i) <= cycle then i
+  else i_claim t ~cycle (i + 1) (if t.i_ready.(i) < t.i_ready.(best) then i else best)
+
+let fetch_raw t ~cycle ~addr =
   let line = line_of addr in
-  match Hashtbl.find_opt t.outstanding_i line with
-  | Some ready when ready > cycle -> (ready, Mem)
-  | _ ->
-    if Cache.probe t.l1i ~addr then begin
-      ignore (Cache.access_info t.l1i ~addr);
-      (cycle + t.p.l1i_latency, L1)
-    end
-    else begin
-      ignore (Cache.access_info t.l1i ~addr);
-      let ready, level =
-        match Cache.access_info t.llc ~addr with
-        | `Hit | `Hit_prefetched -> (cycle + t.p.llc_latency, Llc)
-        | `Miss ->
-          (Dram.request t.dram ~cycle:(cycle + t.p.llc_latency) ~addr, Mem)
-      in
-      (match t.tracer with
-      | Some tr ->
-        Obs_tracer.on_l1i_miss tr ~cycle ~addr
-          ~level:(match level with Mem -> `Mem | Llc | L1 -> `Llc)
-      | None -> ());
-      Hashtbl.replace t.outstanding_i line ready;
-      (ready, level)
-    end
+  let merge = i_find_live t ~cycle ~line 0 in
+  if merge >= 0 then (t.i_ready.(merge) lsl 2) lor code_mem
+  else if Cache.probe t.l1i ~addr then begin
+    ignore (Cache.access_info t.l1i ~addr);
+    ((cycle + t.p.l1i_latency) lsl 2) lor code_l1
+  end
+  else begin
+    ignore (Cache.access_info t.l1i ~addr);
+    let hit_llc =
+      match Cache.access_info t.llc ~addr with
+      | `Hit | `Hit_prefetched -> true
+      | `Miss -> false
+    in
+    let ready =
+      if hit_llc then cycle + t.p.llc_latency
+      else Dram.request t.dram ~cycle:(cycle + t.p.llc_latency) ~addr
+    in
+    (match t.tracer with
+    | Some tr ->
+      Obs_tracer.on_l1i_miss tr ~cycle ~addr ~level:(if hit_llc then `Llc else `Mem)
+    | None -> ());
+    let slot = i_claim t ~cycle 0 0 in
+    t.i_line.(slot) <- line;
+    t.i_ready.(slot) <- ready;
+    (ready lsl 2) lor (if hit_llc then code_llc else code_mem)
+  end
+
+let fetch t ~cycle ~addr =
+  let packed = fetch_raw t ~cycle ~addr in
+  (packed lsr 2, level_of_code (packed land 3))
 
 let probe_inst t ~addr = Cache.probe t.l1i ~addr
 

@@ -54,6 +54,26 @@ val load : t -> cycle:int -> addr:int -> [ `Done of int * level | `Mshr_full ]
     level.  Misses to the same line merge onto the outstanding fill.
     [`Mshr_full] means the load must retry next cycle. *)
 
+(** {2 Unboxed timing interface}
+
+    The cycle loop's variants of {!load} and {!fetch}: a result is packed
+    as [(ready lsl 2) lor code] with the level codes below, and [-1]
+    stands for [`Mshr_full], so the per-access hot path allocates
+    nothing.  Identical timing, statistics and tracer behaviour. *)
+
+val code_l1 : int
+val code_llc : int
+val code_mem : int
+
+val level_of_code : int -> level
+
+val load_raw : t -> cycle:int -> addr:int -> int
+(** Packed {!load}; [-1] when the MSHRs are full. *)
+
+val fetch_raw : t -> cycle:int -> addr:int -> int
+(** Packed {!fetch}; never [-1] (instruction fetches do not run out of
+    miss slots). *)
+
 val store_commit : t -> cycle:int -> addr:int -> unit
 (** Retirement-time store: write-allocate into L1D.  Store misses are
     absorbed by the store buffer and do not stall the pipeline. *)

@@ -62,12 +62,15 @@ let train t ~line =
     if t.round >= t.round_max then end_learning_phase t
   end
 
-let query t ~line =
-  if t.active_offset = 0 then None
+let query_line t ~line =
+  if t.active_offset = 0 then -1
   else begin
     t.issued <- t.issued + 1;
-    Some (line + t.active_offset)
+    line + t.active_offset
   end
+
+let query t ~line =
+  match query_line t ~line with -1 -> None | l -> Some l
 
 let best_offset t = if t.active_offset = 0 then None else Some t.active_offset
 

@@ -35,6 +35,11 @@ val query : t -> line:int -> int option
 (** Line to prefetch for a demand access to [line], if prefetching is
     currently enabled: [Some (line + best_offset)]. *)
 
+val query_line : t -> line:int -> int
+(** Same as {!query} but returns [-1] when prefetching is disabled — the
+    unboxed variant the memory system's miss path uses.  Same [issued]
+    accounting. *)
+
 val best_offset : t -> int option
 (** Currently selected offset, [None] while disabled. *)
 

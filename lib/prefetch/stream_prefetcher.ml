@@ -22,19 +22,27 @@ let create ?(streams = 16) ?(degree = 4) ?(min_confidence = 2) () =
     clock = 0;
     issued = 0 }
 
-let access t ~line =
+let degree t = t.degree
+
+let rec find_match streams line i =
+  if i = Array.length streams then -1
+  else
+    let delta = line - streams.(i).last_line in
+    if delta <> 0 && abs delta <= 2 then i else find_match streams line (i + 1)
+
+let rec lru_stream streams best i =
+  if i = Array.length streams then best
+  else
+    lru_stream streams (if streams.(i).lru < streams.(best).lru then i else best) (i + 1)
+
+(* Core access path: writes prefetch candidates into [into] (which must
+   have room for [degree] lines) and returns how many were produced. *)
+let access_into t ~line ~into =
   t.clock <- t.clock + 1;
-  let matching = ref None in
-  Array.iter
-    (fun s ->
-      if !matching = None then begin
-        let delta = line - s.last_line in
-        if delta <> 0 && abs delta <= 2 then matching := Some (s, delta)
-      end)
-    t.streams;
-  match !matching with
-  | Some (s, delta) ->
-    let dir = if delta > 0 then 1 else -1 in
+  let m = find_match t.streams line 0 in
+  if m >= 0 then begin
+    let s = t.streams.(m) in
+    let dir = if line - s.last_line > 0 then 1 else -1 in
     if s.direction = dir then s.confidence <- s.confidence + 1
     else begin
       s.direction <- dir;
@@ -43,19 +51,27 @@ let access t ~line =
     s.last_line <- line;
     s.lru <- t.clock;
     if s.confidence >= t.min_confidence then begin
-      let lines = List.init t.degree (fun k -> line + (dir * (k + 1))) in
-      t.issued <- t.issued + List.length lines;
-      lines
+      for k = 0 to t.degree - 1 do
+        into.(k) <- line + (dir * (k + 1))
+      done;
+      t.issued <- t.issued + t.degree;
+      t.degree
     end
-    else []
-  | None ->
+    else 0
+  end
+  else begin
     (* Allocate the LRU tracker for a potential new stream. *)
-    let victim = ref t.streams.(0) in
-    Array.iter (fun s -> if s.lru < !victim.lru then victim := s) t.streams;
-    !victim.last_line <- line;
-    !victim.direction <- 0;
-    !victim.confidence <- 0;
-    !victim.lru <- t.clock;
-    []
+    let v = t.streams.(lru_stream t.streams 0 1) in
+    v.last_line <- line;
+    v.direction <- 0;
+    v.confidence <- 0;
+    v.lru <- t.clock;
+    0
+  end
+
+let access t ~line =
+  let into = Array.make t.degree 0 in
+  let n = access_into t ~line ~into in
+  List.init n (fun k -> into.(k))
 
 let issued t = t.issued

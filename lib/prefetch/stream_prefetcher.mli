@@ -13,4 +13,13 @@ val create : ?streams:int -> ?degree:int -> ?min_confidence:int -> unit -> t
 val access : t -> line:int -> int list
 (** Observe a demand access to [line]; returns line numbers to prefetch. *)
 
+val access_into : t -> line:int -> into:int array -> int
+(** Same as {!access} but writes the prefetch lines into the caller's
+    scratch buffer (which must hold at least {!degree} entries) and
+    returns the count — the allocation-free variant the memory system
+    uses. *)
+
+val degree : t -> int
+(** Lines prefetched ahead per confident access. *)
+
 val issued : t -> int

@@ -1,0 +1,341 @@
+(* Tests for the allocation-free cycle engine's data structures — event
+   wheel, intrusive wakeup lists, flat int table, bitset scan/argmin
+   primitives, incremental TAGE folds — plus the engine-level GC budget
+   and the issue-width knob. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ---------------- Event wheel ---------------- *)
+
+let test_wheel_basic () =
+  let w = Event_wheel.create ~horizon:16 () in
+  Event_wheel.add w ~now:0 ~cycle:3 42;
+  Event_wheel.add w ~now:0 ~cycle:5 7;
+  check int "pending" 2 (Event_wheel.pending w);
+  check int "nothing due yet" (-1) (Event_wheel.pop w ~cycle:2);
+  check int "due at 3" 42 (Event_wheel.pop w ~cycle:3);
+  check int "slot drained" (-1) (Event_wheel.pop w ~cycle:3);
+  check int "due at 5" 7 (Event_wheel.pop w ~cycle:5);
+  check int "empty" 0 (Event_wheel.pending w)
+
+let test_wheel_same_cycle_lifo () =
+  let w = Event_wheel.create ~horizon:16 () in
+  Event_wheel.add w ~now:0 ~cycle:4 1;
+  Event_wheel.add w ~now:0 ~cycle:4 2;
+  Event_wheel.add w ~now:0 ~cycle:4 3;
+  (* Newest-first, matching the prepend-then-iterate Hashtbl calendar. *)
+  check int "pop newest" 3 (Event_wheel.pop w ~cycle:4);
+  check int "then middle" 2 (Event_wheel.pop w ~cycle:4);
+  check int "then oldest" 1 (Event_wheel.pop w ~cycle:4);
+  check int "drained" (-1) (Event_wheel.pop w ~cycle:4)
+
+let test_wheel_wraparound () =
+  let w = Event_wheel.create ~horizon:8 () in
+  (* Drive the wheel through several laps; slots must be clean on reuse. *)
+  for now = 0 to 40 do
+    Event_wheel.add w ~now ~cycle:(now + 7) now;
+    (* drain events due at [now + 1] before the next iteration adds *)
+    let due = now + 1 - 7 in
+    if due >= 0 then
+      check int
+        (Printf.sprintf "lap event at %d" (now + 1))
+        due
+        (Event_wheel.pop w ~cycle:(now + 1));
+    check int "slot empty after drain" (-1) (Event_wheel.pop w ~cycle:(now + 1))
+  done
+
+let test_wheel_overflow () =
+  let w = Event_wheel.create ~horizon:8 () in
+  (* 100 cycles ahead: beyond the horizon, parked in the overflow bucket. *)
+  Event_wheel.add w ~now:0 ~cycle:100 55;
+  Event_wheel.add w ~now:0 ~cycle:101 66;
+  check int "overflow holds both" 2 (Event_wheel.overflow_length w);
+  for c = 1 to 99 do
+    check int "nothing due in between" (-1) (Event_wheel.pop w ~cycle:c)
+  done;
+  check int "overflow delivered" 55 (Event_wheel.pop w ~cycle:100);
+  check int "overflow entry gone" (-1) (Event_wheel.pop w ~cycle:100);
+  check int "second overflow" 66 (Event_wheel.pop w ~cycle:101);
+  check int "bucket empty" 0 (Event_wheel.overflow_length w)
+
+let test_wheel_rejects_past () =
+  let w = Event_wheel.create ~horizon:8 () in
+  Alcotest.check_raises "past cycle rejected"
+    (Invalid_argument "Event_wheel.add: cycle must be in the future") (fun () ->
+      Event_wheel.add w ~now:5 ~cycle:5 1)
+
+(* Property: against a (cycle -> payload list) Hashtbl calendar, over a
+   random latency stream that regularly exceeds the horizon.  The
+   per-cycle *population* must match exactly; the within-cycle order is
+   additionally LIFO whenever every event of that cycle took the same
+   path (all ring or all overflow), which the reference reproduces by
+   prepending. *)
+let prop_wheel_matches_hashtbl_calendar =
+  QCheck.Test.make ~name:"event wheel = Hashtbl calendar" ~count:50
+    QCheck.small_int (fun seed ->
+      let horizon = 16 in
+      let w = Event_wheel.create ~horizon () in
+      let calendar : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+      let rng = Prng.create (seed + 17) in
+      let ok = ref true in
+      let payload = ref 0 in
+      for now = 0 to 400 do
+        (* 0-2 events per cycle, latencies 1..40 (horizon is 16, so a
+           fair share land in the overflow bucket) *)
+        for _ = 1 to Prng.int rng 3 do
+          let latency = 1 + Prng.int rng 40 in
+          incr payload;
+          Event_wheel.add w ~now ~cycle:(now + latency) !payload;
+          let prev =
+            match Hashtbl.find_opt calendar (now + latency) with
+            | Some l -> l
+            | None -> []
+          in
+          Hashtbl.replace calendar (now + latency) (!payload :: prev)
+        done;
+        (* drain the next cycle on both sides *)
+        let cycle = now + 1 in
+        let expected = Option.value ~default:[] (Hashtbl.find_opt calendar cycle) in
+        Hashtbl.remove calendar cycle;
+        let got = ref [] in
+        let rec drain () =
+          let d = Event_wheel.pop w ~cycle in
+          if d >= 0 then begin
+            got := d :: !got;
+            drain ()
+          end
+        in
+        drain ();
+        (* [got] is reversed pop order; equal-as-sets and equal lengths *)
+        if List.sort compare !got <> List.sort compare expected then ok := false
+      done;
+      let still_due = Hashtbl.fold (fun _ l a -> List.length l + a) calendar 0 in
+      if Event_wheel.pending w <> still_due then ok := false;
+      !ok)
+
+(* ---------------- Wakeup lists ---------------- *)
+
+let test_wakeup_lifo () =
+  let wk = Wakeup.create 8 in
+  Wakeup.push wk ~producer:2 ~consumer:5 ~link:0;
+  Wakeup.push wk ~producer:2 ~consumer:6 ~link:1;
+  Wakeup.push wk ~producer:2 ~consumer:7 ~link:0;
+  check bool "non-empty" false (Wakeup.is_empty wk 2);
+  check int "newest first" 7 (Wakeup.pop wk 2);
+  check int "then" 6 (Wakeup.pop wk 2);
+  check int "then oldest" 5 (Wakeup.pop wk 2);
+  check int "exhausted" (-1) (Wakeup.pop wk 2);
+  check bool "empty again" true (Wakeup.is_empty wk 2)
+
+let test_wakeup_multi_producer () =
+  let wk = Wakeup.create 8 in
+  (* One consumer waits on two producers through distinct links. *)
+  Wakeup.push wk ~producer:0 ~consumer:4 ~link:0;
+  Wakeup.push wk ~producer:1 ~consumer:4 ~link:1;
+  check int "woken by producer 0" 4 (Wakeup.pop wk 0);
+  check int "woken by producer 1" 4 (Wakeup.pop wk 1);
+  check int "both lists empty" (-1) (Wakeup.pop wk 0)
+
+let test_wakeup_reset () =
+  let wk = Wakeup.create 4 in
+  Wakeup.push wk ~producer:1 ~consumer:2 ~link:0;
+  Wakeup.push wk ~producer:1 ~consumer:3 ~link:2;
+  Wakeup.reset wk 1;
+  check bool "reset empties" true (Wakeup.is_empty wk 1);
+  check int "pop after reset" (-1) (Wakeup.pop wk 1)
+
+(* ---------------- Int table ---------------- *)
+
+let prop_int_table_matches_hashtbl =
+  QCheck.Test.make ~name:"int table = Hashtbl reference" ~count:50
+    QCheck.small_int (fun seed ->
+      let t = Int_table.create 64 in
+      let h : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let rng = Prng.create (seed + 3) in
+      let ok = ref true in
+      for _ = 1 to 2000 do
+        let key = Prng.int rng 200 in
+        match Prng.int rng 3 with
+        | 0 ->
+          let v = Prng.int rng 1000 in
+          if Hashtbl.length h < 64 || Hashtbl.mem h key then begin
+            Int_table.replace t key v;
+            Hashtbl.replace h key v
+          end
+        | 1 ->
+          Int_table.remove t key;
+          Hashtbl.remove h key
+        | _ ->
+          let expected =
+            match Hashtbl.find_opt h key with Some v -> v | None -> -1
+          in
+          if Int_table.find t key <> expected then ok := false
+      done;
+      if Int_table.length t <> Hashtbl.length h then ok := false;
+      !ok)
+
+(* ---------------- Bitset scan primitives ---------------- *)
+
+let test_bitset_next_set () =
+  let b = Bitset.create 130 in
+  List.iter (Bitset.set b) [ 0; 62; 63; 64; 129 ];
+  check int "from 0" 0 (Bitset.next_set b 0);
+  check int "from 1" 62 (Bitset.next_set b 1);
+  check int "word boundary 63" 63 (Bitset.next_set b 63);
+  check int "word boundary 64" 64 (Bitset.next_set b 64);
+  check int "last bit" 129 (Bitset.next_set b 65);
+  check int "past the end" (-1) (Bitset.next_set b 130)
+
+let test_bitset_nth_set () =
+  let b = Bitset.create 130 in
+  List.iter (Bitset.set b) [ 3; 62; 64; 100; 129 ];
+  check int "0th" 3 (Bitset.nth_set b 0);
+  check int "2nd crosses words" 64 (Bitset.nth_set b 2);
+  check int "4th" 129 (Bitset.nth_set b 4);
+  check int "out of range" (-1) (Bitset.nth_set b 5)
+
+(* Reference for argmin: linear scan via next_set. *)
+let argmin_reference b keys =
+  let rec go s best =
+    if s = -1 then best
+    else
+      go (Bitset.next_set b (s + 1))
+        (if best = -1 || keys.(s) < keys.(best) then s else best)
+  in
+  go (Bitset.next_set b 0) (-1)
+
+let prop_bitset_argmin_matches_scan =
+  QCheck.Test.make ~name:"argmin = linear-scan reference" ~count:100
+    QCheck.small_int (fun seed ->
+      let n = 96 in
+      let rng = Prng.create (seed + 11) in
+      let b = Bitset.create n in
+      let keys = Array.init n (fun _ -> Prng.int rng 1000) in
+      for i = 0 to n - 1 do
+        if Prng.int rng 3 = 0 then Bitset.set b i
+      done;
+      Bitset.argmin b keys = argmin_reference b keys)
+
+(* ---------------- Incremental TAGE folds ---------------- *)
+
+let test_tage_incremental_folds () =
+  let t = Tage.create ~seed:0x7a9e () in
+  let rng = Prng.create 0xbeef in
+  for i = 0 to 2000 do
+    let pc = Prng.int rng 512 in
+    let taken = Prng.int rng 3 <> 0 in
+    ignore (Tage.predict_and_update t ~pc ~taken);
+    if i mod 100 = 0 then
+      check bool
+        (Printf.sprintf "fold registers = direct fold after %d updates" i)
+        true (Tage.self_check t)
+  done;
+  check bool "fold registers sound at the end" true (Tage.self_check t)
+
+(* ---------------- Engine-level: GC budget ---------------- *)
+
+(* The tentpole invariant: the steady-state cycle loop does not allocate
+   on the minor heap.  A single reintroduced closure or boxed temporary
+   in the per-cycle path costs >= 2 words per cycle; the budget of 0.5
+   leaves room only for one-time per-run setup. *)
+let test_gc_budget () =
+  let instrs = 50_000 in
+  let w = Catalog.make ~input:Workload.Ref ~instrs "mcf" in
+  let trace = Workload.trace w in
+  let cfg = Cpu_config.skylake in
+  let layout = Layout.compute ~critical:(fun _ -> false) trace.Executor.prog in
+  (* warm run settles one-time lazy setup *)
+  let stats = Cpu_core.run ~layout cfg trace in
+  let m0 = Gc.minor_words () in
+  let stats2 = Cpu_core.run ~layout cfg trace in
+  let m1 = Gc.minor_words () in
+  check int "deterministic rerun" stats.Cpu_stats.cycles stats2.Cpu_stats.cycles;
+  let per_cycle = (m1 -. m0) /. float_of_int stats2.Cpu_stats.cycles in
+  if per_cycle > 0.5 then
+    Alcotest.failf
+      "cycle loop allocates %.2f minor words per cycle (budget 0.5): the \
+       allocation-free engine invariant is broken"
+      per_cycle
+
+(* ---------------- Engine-level: issue width ---------------- *)
+
+let run_with cfg =
+  let instrs = 30_000 in
+  let w = Catalog.make ~input:Workload.Ref ~instrs "gcc" in
+  let trace = Workload.trace w in
+  let layout = Layout.compute ~critical:(fun _ -> false) trace.Executor.prog in
+  Cpu_core.run ~layout cfg trace
+
+let test_issue_width_default () =
+  let base = run_with Cpu_config.skylake in
+  let explicit =
+    run_with
+      (Cpu_config.with_issue_width Cpu_config.skylake.Cpu_config.fetch_width
+         Cpu_config.skylake)
+  in
+  check int "default issue width = fetch width (cycles)" base.Cpu_stats.cycles
+    explicit.Cpu_stats.cycles;
+  check int "retired equal" base.Cpu_stats.retired explicit.Cpu_stats.retired
+
+let test_issue_width_narrow () =
+  let base = run_with Cpu_config.skylake in
+  let narrow = run_with (Cpu_config.with_issue_width 1 Cpu_config.skylake) in
+  check int "same instructions retired" base.Cpu_stats.retired
+    narrow.Cpu_stats.retired;
+  check bool
+    (Printf.sprintf "single-issue is slower (%d vs %d cycles)"
+       narrow.Cpu_stats.cycles base.Cpu_stats.cycles)
+    true
+    (narrow.Cpu_stats.cycles > base.Cpu_stats.cycles)
+
+(* ---------------- Random-ready picker ---------------- *)
+
+(* pick_random now stops at the winner via nth_set; the draw and the
+   resulting pick sequence must stay what the full-iteration walk gave,
+   i.e. the n-th ready slot in index order under the same seeded draws. *)
+let test_pick_random_deterministic () =
+  let mk () =
+    let s = Scheduler.create ~seed:42 ~slots:16 Scheduler.Random_ready in
+    for _ = 1 to 10 do
+      ignore (Scheduler.allocate_slot s ~critical:false)
+    done;
+    for slot = 0 to 15 do
+      if Scheduler.slot_occupied s slot then Scheduler.mark_ready s slot
+    done;
+    s
+  in
+  let a = mk () and b = mk () in
+  Scheduler.begin_cycle a;
+  Scheduler.begin_cycle b;
+  for _ = 1 to 10 do
+    check int "same seeded pick sequence" (Scheduler.select a) (Scheduler.select b)
+  done;
+  check int "exhausted candidates" (-1) (Scheduler.select a)
+
+let () =
+  Alcotest.run "engine"
+    [ ( "event_wheel",
+        [ Alcotest.test_case "basics" `Quick test_wheel_basic;
+          Alcotest.test_case "same-cycle LIFO" `Quick test_wheel_same_cycle_lifo;
+          Alcotest.test_case "wrap-around" `Quick test_wheel_wraparound;
+          Alcotest.test_case "overflow bucket" `Quick test_wheel_overflow;
+          Alcotest.test_case "rejects past cycles" `Quick test_wheel_rejects_past;
+          QCheck_alcotest.to_alcotest prop_wheel_matches_hashtbl_calendar ] );
+      ( "wakeup",
+        [ Alcotest.test_case "LIFO pop" `Quick test_wakeup_lifo;
+          Alcotest.test_case "multi-producer links" `Quick test_wakeup_multi_producer;
+          Alcotest.test_case "reset" `Quick test_wakeup_reset ] );
+      ("int_table", [ QCheck_alcotest.to_alcotest prop_int_table_matches_hashtbl ]);
+      ( "bitset_scan",
+        [ Alcotest.test_case "next_set" `Quick test_bitset_next_set;
+          Alcotest.test_case "nth_set" `Quick test_bitset_nth_set;
+          QCheck_alcotest.to_alcotest prop_bitset_argmin_matches_scan ] );
+      ("tage", [ Alcotest.test_case "incremental folds" `Quick test_tage_incremental_folds ]);
+      ("gc_budget", [ Alcotest.test_case "steady state allocation-free" `Quick test_gc_budget ]);
+      ( "issue_width",
+        [ Alcotest.test_case "default equals fetch width" `Quick test_issue_width_default;
+          Alcotest.test_case "narrow issue is slower" `Quick test_issue_width_narrow;
+          Alcotest.test_case "random picker deterministic" `Quick
+            test_pick_random_deterministic ] ) ]
