@@ -142,6 +142,16 @@ let () =
     Experiments.run_all ~sizes ();
     micro_benchmarks ()
   | figures -> List.iter run_one figures);
+  (* Farm-load / cache-effectiveness counters on stderr, so figure text on
+     stdout stays byte-identical across --jobs values. *)
+  let m = Runner.cache_stats () in
+  let ps = Exec.Pool.stats pool in
+  Printf.eprintf
+    "farm: memo hits %d  misses %d  dedups %d  evictions %d  entries %d; \
+     pool workers %d  queued %d  running %d  stolen %d\n"
+    m.Exec.Memo.hits m.Exec.Memo.misses m.Exec.Memo.dedups m.Exec.Memo.evictions
+    m.Exec.Memo.entries ps.Exec.Pool.workers ps.Exec.Pool.queued
+    ps.Exec.Pool.running ps.Exec.Pool.stolen;
   if !supervised then begin
     let _, _, degraded, quarantined, _ = Resil.Log.counts () in
     if Resil.Log.events () <> [] then Format.eprintf "%a@?" Resil.Log.pp_summary ();

@@ -8,6 +8,7 @@
      experiments regenerate paper tables/figures
      chaos       deterministic fault-injection harness over one figure
      list        list the workload catalog
+     client      run figure grids against a crisp_simd farm daemon
 
    Exit codes: 0 success; 1 a check failed or the run degraded (some
    cells timed out / crashed / were quarantined — see the stderr
@@ -685,6 +686,125 @@ let list_cmd =
   let info = Cmd.info "list" ~doc:"List the workload catalog." in
   Cmd.v info Term.(const list_workloads $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* client: run figure grids against a crisp_simd daemon.  Figure text on
+   stdout is byte-identical to `experiments' on the same grids — shared
+   Grid specs, round-trip-precise floats on the wire, degraded cells as
+   `--' — while farm accounting goes to stderr. *)
+
+let farm_socket_arg =
+  let doc = "Unix-domain socket of the crisp_simd daemon." in
+  let default = Filename.concat (Filename.get_temp_dir_name ()) "crisp_simd.sock" in
+  Arg.(value & opt string default & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let client_grids_arg =
+  let doc =
+    "Grids to request (default: every farm-servable grid, in figure order)."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"GRID" ~doc)
+
+let client_ping_arg =
+  let doc = "Just check that the daemon answers, then exit." in
+  Arg.(value & flag & info [ "ping" ] ~doc)
+
+let client_stats_arg =
+  let doc = "Print the daemon's memo/pool/journal statistics, then exit." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let client_shutdown_arg =
+  let doc = "Ask the daemon to shut down cleanly, then exit." in
+  Arg.(value & flag & info [ "shutdown" ] ~doc)
+
+let print_farm_stats (s : Farm_protocol.farm_stats) =
+  Printf.printf
+    "memo: %d hits  %d misses  %d dedups  %d evictions  %d entries\n\
+     pool: %d workers  %d queued  %d running  %d stolen\n\
+     journal: %d cells   requests served: %d\n"
+    s.Farm_protocol.memo.Exec.Memo.hits s.Farm_protocol.memo.Exec.Memo.misses
+    s.Farm_protocol.memo.Exec.Memo.dedups
+    s.Farm_protocol.memo.Exec.Memo.evictions
+    s.Farm_protocol.memo.Exec.Memo.entries s.Farm_protocol.pool.Exec.Pool.workers
+    s.Farm_protocol.pool.Exec.Pool.queued s.Farm_protocol.pool.Exec.Pool.running
+    s.Farm_protocol.pool.Exec.Pool.stolen s.Farm_protocol.journal_cells
+    s.Farm_protocol.requests_served
+
+let client grids instrs train_instrs socket do_ping do_stats do_shutdown =
+  let specs =
+    match grids with
+    | [] -> Grid.catalog
+    | tags ->
+      List.map
+        (fun tag ->
+          match Grid.find tag with
+          | Some spec -> spec
+          | None ->
+            Printf.eprintf
+              "crisp_sim: unknown grid %S (farm-servable grids: %s)\n" tag
+              (String.concat ", "
+                 (List.map (fun (s : Grid.spec) -> s.Grid.tag) Grid.catalog));
+            exit 2)
+        tags
+  in
+  let conn =
+    try Farm_client.connect ~socket
+    with Farm_client.Farm_error msg ->
+      Printf.eprintf "crisp_sim: %s\n" msg;
+      exit 2
+  in
+  Fun.protect ~finally:(fun () -> Farm_client.close conn) @@ fun () ->
+  try
+    if do_ping then begin
+      Farm_client.ping conn;
+      Printf.printf "crisp_simd at %s: alive\n" socket
+    end
+    else if do_stats then print_farm_stats (Farm_client.stats conn)
+    else if do_shutdown then begin
+      Farm_client.shutdown_daemon conn;
+      Printf.printf "crisp_simd at %s: shutting down\n" socket
+    end
+    else begin
+      let any_degraded = ref false in
+      List.iter
+        (fun (spec : Grid.spec) ->
+          let r =
+            Farm_client.run_grid conn ~spec ~eval_instrs:instrs
+              ~train_instrs ()
+          in
+          Grid.render spec r.Farm_client.rows;
+          let s = r.Farm_client.summary in
+          Printf.eprintf
+            "%s: %d cells — %d computed, %d deduplicated, %d from journal, \
+             %d degraded\n"
+            spec.Grid.tag s.Farm_protocol.cells s.Farm_protocol.computed
+            s.Farm_protocol.memo_hits s.Farm_protocol.journal_hits
+            s.Farm_protocol.degraded;
+          List.iter
+            (fun (cell, reason) ->
+              any_degraded := true;
+              Printf.eprintf "  degraded %s: %s\n" cell reason)
+            r.Farm_client.degraded)
+        specs;
+      if !any_degraded then exit 1
+    end
+  with Farm_client.Farm_error msg ->
+    Printf.eprintf "crisp_sim: farm error: %s\n" msg;
+    exit 2
+
+let client_cmd =
+  let info =
+    Cmd.info "client"
+      ~doc:
+        "Run figure grids against a crisp_simd simulation-farm daemon.  \
+         Figure text (stdout) is byte-identical to the `experiments' \
+         subcommand on the same grids; cells shared with other clients or \
+         earlier requests are simulated only once, and the per-grid dedup \
+         accounting is reported on stderr."
+  in
+  Cmd.v info
+    Term.(
+      const client $ client_grids_arg $ instrs_arg $ train_arg $ farm_socket_arg
+      $ client_ping_arg $ client_stats_arg $ client_shutdown_arg)
+
 let () =
   let info =
     Cmd.info "crisp_sim" ~version:"1.0.0"
@@ -693,7 +813,7 @@ let () =
   let group =
     Cmd.group info
       [ simulate_cmd; trace_cmd; profile_cmd; slices_cmd; experiments_cmd;
-        chaos_cmd; check_cmd; list_cmd ]
+        chaos_cmd; check_cmd; list_cmd; client_cmd ]
   in
   (* ~catch:false so an uncaught exception reaches our handler: one line
      on stderr and exit 2 (internal error), never a bare backtrace.

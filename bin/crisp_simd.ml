@@ -1,0 +1,97 @@
+(* crisp_simd: the persistent simulation-farm daemon.
+
+   Listens on a Unix-domain socket for crisp_sim clients, decomposes
+   their grid requests into canonical cells, dedups identical cells
+   across all connected clients, shards them over a work-stealing domain
+   pool under supervision, and (with --journal-dir) checkpoints every
+   completed cell so a killed daemon restarts warm.
+
+   Exit codes: 0 clean shutdown (signal or client `shutdown' request);
+   2 startup failure (socket in use, bad arguments). *)
+
+open Cmdliner
+
+let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "crisp_simd.sock"
+
+let socket_arg =
+  let doc =
+    "Unix-domain socket to listen on.  A stale file at this path is \
+     unlinked; do not point two live daemons at the same path."
+  in
+  Arg.(value & opt string default_socket & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the shared simulation pool (0 = one per \
+     recommended core; 1 = run cells inline on the client threads)."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let journal_dir_arg =
+  let doc =
+    "Persist the farm's state under $(docv): a `cells' journal of every \
+     completed cell value and a `server' journal of daemon counters.  A \
+     restarted daemon serves journalled cells without recomputing them.  \
+     Omitted = fully in-memory."
+  in
+  Arg.(value & opt (some string) None & info [ "journal-dir" ] ~docv:"DIR" ~doc)
+
+let deadline_arg =
+  let doc = "Per-cell wall-clock deadline in seconds; over-deadline cells degrade." in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+
+let retries_arg =
+  let doc = "Retries per crashed cell (deterministic seeded backoff)." in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Seed for backoff jitter." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+
+let verbose_arg =
+  let doc = "Log every connection, spawn, journal hit and degradation to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let daemon socket jobs journal_dir deadline retries seed verbose =
+  let workers = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+  let pool =
+    if workers <= 1 then Exec.Pool.sequential else Exec.Pool.create ~workers ()
+  in
+  let policy =
+    { Resil.Supervise.default_policy with Resil.Supervise.deadline; retries; seed }
+  in
+  let server =
+    Farm_server.create
+      { Farm_server.socket; pool; policy; journal_dir; verbose }
+  in
+  (* SIGTERM/SIGINT stop the accept loop; in-flight grids finish
+     streaming, client threads are joined, the socket file is removed. *)
+  let request_stop _ = Farm_server.stop server in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  (match Farm_server.run server with
+  | () -> ()
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Printf.eprintf "crisp_simd: cannot serve on %s: %s (%s %s)\n" socket
+      (Unix.error_message e) fn arg;
+    exit 2);
+  Exec.Pool.shutdown pool
+
+let () =
+  let info =
+    Cmd.info "crisp_simd" ~version:"1.0.0"
+      ~doc:
+        "Simulation-farm daemon: batches, shards, dedups and journals \
+         CRISP grid work for concurrent crisp_sim clients."
+  in
+  let cmd =
+    Cmd.v info
+      Term.(
+        const daemon $ socket_arg $ jobs_arg $ journal_dir_arg $ deadline_arg
+        $ retries_arg $ seed_arg $ verbose_arg)
+  in
+  match Cmd.eval ~catch:false ~term_err:2 cmd with
+  | code -> exit code
+  | exception exn ->
+    Printf.eprintf "crisp_simd: internal error: %s\n" (Printexc.to_string exn);
+    exit 2

@@ -149,13 +149,6 @@ let submit_cells ~tag ~degraded ~names ~cols ~cell =
           cols ))
     indexed
 
-(* Per-app grids (one value per row) are one-column cell grids. *)
-let submit_rows ~tag ~degraded ~names ~row =
-  submit_cells ~tag ~degraded ~names ~cols:[ () ] ~cell:(fun name () -> row name)
-  |> List.map (function
-       | name, [ v ] -> (name, v)
-       | _ -> assert false)
-
 let ipc_of (outcome : Runner.outcome) = Cpu_stats.ipc outcome.Runner.stats
 
 let gain ~sizes ~cfg ~name variant =
@@ -260,90 +253,37 @@ let fig3 () =
     (Slicer.size slice) slice.Slicer.avg_dynamic_length;
   slice.Slicer.pc_list
 
+(* The grid figures (4, 7-11) are driven entirely by the shared
+   {!Grid} specs, so the daemon-served and locally-run paths compute
+   identical cells and render identical text. *)
+let run_grid ~sizes (spec : Grid.spec) =
+  let rows =
+    submit_cells ~tag:spec.Grid.tag ~degraded:Float.nan ~names:spec.Grid.names
+      ~cols:spec.Grid.columns
+      ~cell:(fun name column ->
+        Grid.cell_value ~eval_instrs:sizes.eval_instrs
+          ~train_instrs:sizes.train_instrs ~name ~metric:spec.Grid.metric column)
+  in
+  Grid.render spec rows;
+  Grid.full_rows spec rows
+
+let single_column = function
+  | name, [ v ] -> (name, v)
+  | _ -> assert false
+
 let fig4 ?(sizes = default_sizes) () =
-  let rows =
-    submit_rows ~tag:"fig4" ~degraded:Float.nan ~names:apps ~row:(fun name ->
-        let artifacts = crisp_artifacts ~sizes ~name in
-        Tagger.avg_load_slice_size artifacts.Fdo.tagging)
-  in
-  Report.print_bars ~title:"Figure 4: average load slice size (dynamic micro-ops)" rows;
-  rows
+  List.map single_column (run_grid ~sizes Grid.fig4)
 
-let fig7 ?(sizes = default_sizes) () =
-  let cfg = Cpu_config.skylake in
-  let variants =
-    [ Runner.crisp_default;
-      Runner.Ibda Ibda.ist_1k;
-      Runner.Ibda Ibda.ist_8k;
-      Runner.Ibda Ibda.ist_64k;
-      Runner.Ibda Ibda.ist_infinite ]
-  in
-  let rows =
-    submit_cells ~tag:"fig7" ~degraded:Float.nan ~names:apps ~cols:variants
-      ~cell:(fun name v -> gain ~sizes ~cfg ~name v)
-  in
-  let means =
-    List.init (List.length variants) (fun i ->
-        Report.mean (List.map (fun (_, vs) -> List.nth vs i) rows))
-  in
-  let rows = rows @ [ ("mean", means) ] in
-  Report.print_percent_table
-    ~title:"Figure 7: IPC improvement over OOO (CRISP vs IBDA)"
-    ~header:[ "CRISP"; "IBDA-1K"; "IBDA-8K"; "IBDA-64K"; "IBDA-inf" ]
-    rows;
-  rows
+let fig7 ?(sizes = default_sizes) () = run_grid ~sizes Grid.fig7
 
-let fig8 ?(sizes = default_sizes) () =
-  let cfg = Cpu_config.skylake in
-  let variants =
-    [ Runner.Crisp (Classifier.default, Tagger.load_slices_only);
-      Runner.Crisp (Classifier.default, Tagger.branch_slices_only);
-      Runner.crisp_default ]
-  in
-  let rows =
-    submit_cells ~tag:"fig8" ~degraded:Float.nan ~names:apps ~cols:variants
-      ~cell:(fun name v -> gain ~sizes ~cfg ~name v)
-  in
-  Report.print_percent_table
-    ~title:"Figure 8: load slices, branch slices, and their combination"
-    ~header:[ "load"; "branch"; "combined" ] rows;
-  rows
+let fig8 ?(sizes = default_sizes) () = run_grid ~sizes Grid.fig8
 
-let fig9 ?(sizes = default_sizes) () =
-  let windows = [ (64, 180); (96, 224); (144, 336); (192, 448) ] in
-  let rows =
-    submit_cells ~tag:"fig9" ~degraded:Float.nan ~names:apps ~cols:windows
-      ~cell:(fun name (rs, rob) ->
-        let cfg = Cpu_config.with_window ~rs ~rob Cpu_config.skylake in
-        gain ~sizes ~cfg ~name Runner.crisp_default)
-  in
-  Report.print_percent_table
-    ~title:"Figure 9: CRISP gain vs reservation-station / ROB size"
-    ~header:[ "64/180"; "96/224"; "144/336"; "192/448" ] rows;
-  rows
+let fig9 ?(sizes = default_sizes) () = run_grid ~sizes Grid.fig9
 
-let fig10 ?(sizes = default_sizes) () =
-  let cfg = Cpu_config.skylake in
-  let thresholds = [ 0.05; 0.01; 0.002 ] in
-  let rows =
-    submit_cells ~tag:"fig10" ~degraded:Float.nan ~names:apps ~cols:thresholds
-      ~cell:(fun name t ->
-        let classifier = Classifier.with_miss_contribution t Classifier.default in
-        gain ~sizes ~cfg ~name (Runner.Crisp (classifier, Tagger.default_options)))
-  in
-  Report.print_percent_table
-    ~title:"Figure 10: sensitivity to the miss-contribution threshold T"
-    ~header:[ "T=5%"; "T=1%"; "T=0.2%" ] rows;
-  rows
+let fig10 ?(sizes = default_sizes) () = run_grid ~sizes Grid.fig10
 
 let fig11 ?(sizes = default_sizes) () =
-  let rows =
-    submit_rows ~tag:"fig11" ~degraded:Float.nan ~names:apps ~row:(fun name ->
-        let artifacts = crisp_artifacts ~sizes ~name in
-        float_of_int artifacts.Fdo.tagging.Tagger.static_count)
-  in
-  Report.print_bars ~title:"Figure 11: total static critical instructions" rows;
-  rows
+  List.map single_column (run_grid ~sizes Grid.fig11)
 
 let fig12 ?(sizes = default_sizes) () =
   let rows =

@@ -26,6 +26,8 @@ let cache : (string, sealed) Exec.Memo.t = Exec.Memo.create ~size_hint:64 ()
 
 let clear_cache () = Exec.Memo.clear cache
 
+let cache_stats () = Exec.Memo.stats cache
+
 let seal ~ident outcome =
   if not (Resil.Fault_plan.armed ()) then { outcome; repr = ""; fingerprint = "" }
   else

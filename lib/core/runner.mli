@@ -71,3 +71,8 @@ val speedup_over_ooo :
 
 val clear_cache : unit -> unit
 (** Drop completed memo entries (in-flight simulations still publish). *)
+
+val cache_stats : unit -> Exec.Memo.stats
+(** Lifetime hit/miss/dedup counters of the simulation memo — how often a
+    requested (name, sizes, config, variant) cell was served without
+    rerunning the simulator. *)

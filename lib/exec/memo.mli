@@ -32,3 +32,18 @@ val clear : ('k, 'v) t -> unit
 
 val length : ('k, 'v) t -> int
 (** Completed entries. *)
+
+type stats = {
+  hits : int;  (** requests served from a completed entry *)
+  misses : int;  (** requests that ran the computation themselves *)
+  dedups : int;  (** requests that awaited another caller's in-flight run *)
+  evictions : int;  (** completed entries dropped by {!remove} / {!clear} *)
+  entries : int;  (** completed entries currently held *)
+}
+
+val stats : ('k, 'v) t -> stats
+(** Lifetime counters plus the current size — the cache-effectiveness
+    numbers the simulation farm reports in its summary frames.  Every
+    {!find_or_run} call increments exactly one of [hits], [misses] or
+    [dedups], so [hits + dedups] is the work avoided and [misses] the
+    number of times the computation actually ran. *)

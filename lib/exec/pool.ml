@@ -7,6 +7,8 @@ type pooled = {
   ids : Domain.id option Atomic.t array;  (* worker i's domain id, set at startup *)
   inject : job Inject.t;
   pending : int Atomic.t;  (* jobs enqueued anywhere but not yet started *)
+  running : int Atomic.t;  (* jobs currently executing a thunk *)
+  stolen : int Atomic.t;  (* cumulative jobs migrated between worker deques *)
   aborted : bool Atomic.t;  (* shutdown ~drain:false: queued jobs are discarded *)
   shut : int Atomic.t;  (* 0 running, 1 closing (one caller joins), 2 closed *)
   mutable domains : unit Domain.t array;
@@ -46,8 +48,11 @@ let find_job p i =
       if off >= n then None
       else
         let victim = (i + off) mod n in
-        if Ws_queue.steal ~from:p.deques.(victim) ~into:p.deques.(i) > 0 then
+        let took = Ws_queue.steal ~from:p.deques.(victim) ~into:p.deques.(i) in
+        if took > 0 then begin
+          ignore (Atomic.fetch_and_add p.stolen took);
           Ws_queue.pop p.deques.(i)
+        end
         else try_steal (off + 1)
     in
     (match try_steal 1 with
@@ -59,12 +64,18 @@ let find_job p i =
 
 let spin_budget = 256
 
+(* Jobs never raise (submit's wrapper folds exceptions into the future),
+   but guard the counter anyway so a bug there cannot wedge [running]. *)
+let run_job p job =
+  Atomic.incr p.running;
+  Fun.protect job ~finally:(fun () -> Atomic.decr p.running)
+
 let worker_loop p i =
   Atomic.set p.ids.(i) (Some (Domain.self ()));
   let rec loop spins =
     match find_job p i with
     | Some job ->
-      job ();
+      run_job p job;
       loop 0
     | None ->
       if Inject.is_closed p.inject && Atomic.get p.pending = 0 then ()
@@ -87,6 +98,8 @@ let create ?(workers = Domain.recommended_domain_count ()) () =
         ids = Array.init workers (fun _ -> Atomic.make None);
         inject = Inject.create ();
         pending = Atomic.make 0;
+        running = Atomic.make 0;
+        stolen = Atomic.make 0;
         aborted = Atomic.make false;
         shut = Atomic.make 0;
         domains = [||] }
@@ -98,6 +111,23 @@ let create ?(workers = Domain.recommended_domain_count ()) () =
 let parallelism = function
   | Sequential -> 1
   | Pooled p -> Array.length p.deques
+
+type stats = {
+  workers : int;
+  queued : int;
+  running : int;
+  stolen : int;
+}
+
+let stats = function
+  | Sequential -> { workers = 1; queued = 0; running = 0; stolen = 0 }
+  | Pooled p ->
+    (* [pending] counts enqueued-but-not-started, read racily: a snapshot,
+       not a fence.  [stolen] is cumulative and monotonic. *)
+    { workers = Array.length p.deques;
+      queued = max 0 (Atomic.get p.pending);
+      running = Atomic.get p.running;
+      stolen = Atomic.get p.stolen }
 
 let enqueue p job =
   (* [pending] rises before the job is visible so that scanning workers
@@ -158,7 +188,7 @@ let await t fut =
         else
           match find_job p i with
           | Some job ->
-            job ();
+            run_job p job;
             help 0
           | None ->
             if spins < spin_budget then begin

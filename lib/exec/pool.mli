@@ -31,6 +31,18 @@ val create : ?workers:int -> unit -> t
 val parallelism : t -> int
 (** Number of worker domains; 1 for {!sequential}. *)
 
+type stats = {
+  workers : int;  (** worker domains ({!parallelism}) *)
+  queued : int;  (** jobs enqueued (deques + injection) but not yet started *)
+  running : int;  (** jobs currently executing a thunk *)
+  stolen : int;  (** cumulative jobs migrated between worker deques *)
+}
+
+val stats : t -> stats
+(** A racy (unfenced) snapshot of farm load: [queued]/[running] are
+    instantaneous gauges, [stolen] a lifetime counter.  {!sequential}
+    reports all-zero gauges. *)
+
 val submit : t -> (unit -> 'a) -> 'a Future.t
 (** Schedule a job.  An exception raised by the thunk resolves the future
     with the failure and re-raises at {!await}.

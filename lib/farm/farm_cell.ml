@@ -1,0 +1,60 @@
+type t = {
+  mutex : Mutex.t;
+  settled : Condition.t;
+  mutable result : (float, string) result option;
+  mutable driving : bool;
+  join : unit -> (float, string) result;
+}
+
+let of_result r =
+  { mutex = Mutex.create ();
+    settled = Condition.create ();
+    result = Some r;
+    driving = false;
+    join = (fun () -> r) }
+
+let spawn pool policy ~ident ~on_success ~on_failure thunk =
+  let handle = Resil.Supervise.spawn pool policy ~ident thunk in
+  let join () =
+    match Resil.Supervise.join handle with
+    | Ok v ->
+      on_success v;
+      Ok v
+    | Error e ->
+      let reason = Resil.Supervise.error_to_string e in
+      on_failure reason;
+      Error reason
+  in
+  { mutex = Mutex.create ();
+    settled = Condition.create ();
+    result = None;
+    driving = false;
+    join }
+
+let await t =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    match t.result with
+    | Some r ->
+      Mutex.unlock t.mutex;
+      r
+    | None ->
+      if t.driving then begin
+        Condition.wait t.settled t.mutex;
+        wait ()
+      end
+      else begin
+        t.driving <- true;
+        Mutex.unlock t.mutex;
+        (* Supervise.join polls with short sleeps, so driving it from a
+           system thread never starves the worker domains.  It never
+           raises; every failure folds into the result. *)
+        let r = t.join () in
+        Mutex.lock t.mutex;
+        t.result <- Some r;
+        Condition.broadcast t.settled;
+        Mutex.unlock t.mutex;
+        r
+      end
+  in
+  wait ()

@@ -1,0 +1,31 @@
+(** A multi-consumer handle on one farm cell.
+
+    {!Resil.Supervise.join} is single-consumer — it drives retries by
+    mutating the handle — but the farm memoises cells across client
+    connections, so several client threads can hold the same cell at
+    once.  This wrapper elects exactly one awaiting thread to drive the
+    supervised join; everyone else blocks on a condition variable and
+    receives the identical settled result. *)
+
+type t
+
+val of_result : (float, string) result -> t
+(** An already-settled cell (a journal hit). *)
+
+val spawn :
+  Exec.Pool.t ->
+  Resil.Supervise.policy ->
+  ident:string ->
+  on_success:(float -> unit) ->
+  on_failure:(string -> unit) ->
+  (unit -> float) ->
+  t
+(** Submit the cell's thunk under supervision.  When the join settles,
+    the {e driving} thread runs [on_success v] (checkpoint the value)
+    or [on_failure reason] (evict/log) exactly once, before any waiter
+    observes the result. *)
+
+val await : t -> (float, string) result
+(** Block until the cell settles; safe from any number of threads, all
+    of which see the same result.  [Error] carries the
+    {!Resil.Supervise.error_to_string} rendering of the failure. *)

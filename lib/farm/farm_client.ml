@@ -1,0 +1,124 @@
+module P = Farm_protocol
+
+type t = {
+  ic : in_channel;
+  oc : out_channel;
+  mutable req_counter : int;
+}
+
+exception Farm_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Farm_error s)) fmt
+
+let connect ~socket =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail "cannot reach daemon at %s: %s (is crisp_simd running?)" socket
+       (Unix.error_message e));
+  { ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    req_counter = 0 }
+
+let close t =
+  close_out_noerr t.oc;
+  close_in_noerr t.ic
+
+let send t req =
+  try Farm_frame.write t.oc (P.encode_request req)
+  with Sys_error msg -> fail "connection lost while sending: %s" msg
+
+let recv t =
+  match Farm_frame.read t.ic with
+  | None -> fail "daemon closed the connection mid-conversation"
+  | Some payload -> (
+    match P.decode_response payload with
+    | Ok resp -> resp
+    | Error msg -> fail "undecodable response: %s" msg)
+  | exception Farm_frame.Frame_error msg -> fail "framing error: %s" msg
+  | exception Sys_error msg -> fail "connection lost: %s" msg
+
+let describe = function
+  | P.Pong -> "pong"
+  | P.Stats_reply _ -> "stats"
+  | P.Shutting_down -> "shutting-down"
+  | P.Cell _ -> "cell"
+  | P.Summary _ -> "summary"
+  | P.Error_reply msg -> Printf.sprintf "error (%s)" msg
+
+let ping t =
+  send t P.Ping;
+  match recv t with
+  | P.Pong -> ()
+  | r -> fail "expected pong, got %s" (describe r)
+
+let stats t =
+  send t P.Stats;
+  match recv t with
+  | P.Stats_reply s -> s
+  | r -> fail "expected stats, got %s" (describe r)
+
+let shutdown_daemon t =
+  send t P.Shutdown;
+  match recv t with
+  | P.Shutting_down -> ()
+  | r -> fail "expected shutting-down, got %s" (describe r)
+
+type grid_result = {
+  rows : (string * float list) list;
+  degraded : (string * string) list;
+  summary : P.summary;
+}
+
+let run_grid t ?id ~(spec : Grid.spec) ~eval_instrs ~train_instrs () =
+  t.req_counter <- t.req_counter + 1;
+  let id =
+    match id with
+    | Some id -> id
+    | None -> Printf.sprintf "%s-%d-%d" spec.tag (Unix.getpid ()) t.req_counter
+  in
+  send t
+    (P.Run_grid
+       { id;
+         tag = spec.tag;
+         metric = spec.metric;
+         eval_instrs;
+         train_instrs;
+         names = spec.names;
+         columns = spec.columns });
+  let nrows = List.length spec.names and ncols = List.length spec.columns in
+  let matrix = Array.make_matrix nrows ncols Float.nan in
+  let filled = Array.make_matrix nrows ncols false in
+  let degraded = ref [] in
+  let rec stream () =
+    match recv t with
+    | P.Cell c ->
+      if c.row < 0 || c.row >= nrows || c.col < 0 || c.col >= ncols then
+        fail "cell frame (%d,%d) outside the %dx%d grid" c.row c.col nrows ncols;
+      (match c.outcome with
+      | Ok v -> matrix.(c.row).(c.col) <- v
+      | Error reason ->
+        (* Same marker the local runner uses, so rendering matches. *)
+        matrix.(c.row).(c.col) <- Float.nan;
+        degraded := (c.name ^ "/" ^ c.label, reason) :: !degraded);
+      filled.(c.row).(c.col) <- true;
+      stream ()
+    | P.Summary s ->
+      if s.req_id <> id then
+        fail "summary echoes request %S, expected %S" s.req_id id;
+      Array.iteri
+        (fun r row ->
+          Array.iteri
+            (fun c ok ->
+              if not ok then fail "daemon never sent cell (%d,%d)" r c)
+            row)
+        filled;
+      s
+    | P.Error_reply msg -> fail "daemon: %s" msg
+    | r -> fail "expected cell or summary, got %s" (describe r)
+  in
+  let summary = stream () in
+  { rows = List.mapi (fun r name -> (name, Array.to_list matrix.(r))) spec.names;
+    degraded = List.rev !degraded;
+    summary }

@@ -1,0 +1,40 @@
+(** Client side of the simulation farm: connect to a [crisp_simd]
+    daemon, submit grid requests, and reassemble the streamed cell
+    frames into exactly the rows {!Experiments} would have produced
+    locally — same {!Grid} spec, same floats (round-trip-precise on the
+    wire), same [Float.nan] marker for degraded cells — so
+    [Grid.render] prints a byte-identical figure. *)
+
+type t
+
+exception Farm_error of string
+(** Anything that breaks the conversation: connection refused, framing
+    errors, a daemon [Error_reply], an unexpected or incomplete
+    response.  Never used for degraded cells — those are data. *)
+
+val connect : socket:string -> t
+(** @raise Farm_error when the daemon is not reachable. *)
+
+val close : t -> unit
+
+val ping : t -> unit
+val stats : t -> Farm_protocol.farm_stats
+
+val shutdown_daemon : t -> unit
+(** Ask the daemon to exit cleanly (it finishes in-flight grids). *)
+
+type grid_result = {
+  rows : (string * float list) list;
+      (** per-workload values in spec order; degraded cells are
+          [Float.nan], exactly as the local runner reports them *)
+  degraded : (string * string) list;  (** (["name/label"], reason) *)
+  summary : Farm_protocol.summary;
+}
+
+val run_grid :
+  t -> ?id:string -> spec:Grid.spec -> eval_instrs:int -> train_instrs:int ->
+  unit -> grid_result
+(** Submit the grid and block until its summary frame arrives.
+    @raise Farm_error if the stream ends early, a frame is out of
+    range, any cell never arrives, or the summary echoes a different
+    request id. *)

@@ -1,0 +1,45 @@
+exception Frame_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Frame_error s)) fmt
+let max_payload = 1 lsl 20
+
+let check_len n =
+  if n < 0 || n > max_payload then
+    fail "declared payload length %d outside [0, %d]" n max_payload
+
+let encode payload =
+  let n = String.length payload in
+  check_len n;
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let decode buf ~pos =
+  let avail = String.length buf - pos in
+  if avail < 4 then None
+  else begin
+    let n = Int32.to_int (String.get_int32_be buf pos) in
+    check_len n;
+    if avail < 4 + n then None else Some (String.sub buf (pos + 4) n, pos + 4 + n)
+  end
+
+let write oc payload =
+  output_string oc (encode payload);
+  flush oc
+
+let read ic =
+  (* A clean EOF is only clean on the first header byte; running dry
+     anywhere later means the peer died mid-frame. *)
+  match input_char ic with
+  | exception End_of_file -> None
+  | c0 ->
+    let header = Bytes.create 4 in
+    Bytes.set header 0 c0;
+    (try really_input ic header 1 3
+     with End_of_file -> fail "stream truncated inside frame header");
+    let n = Int32.to_int (Bytes.get_int32_be header 0) in
+    check_len n;
+    (try Some (really_input_string ic n)
+     with End_of_file ->
+       fail "stream truncated inside %d-byte payload" n)

@@ -1,0 +1,33 @@
+(** Length-prefixed framing for the simulation-farm wire protocol.
+
+    A frame is a 4-byte big-endian payload length followed by the payload
+    bytes (JSON text at the layer above).  The framing layer enforces a
+    hard payload cap and fails {e loudly} on anything malformed — a
+    truncated stream, an oversized or negative declared length — instead
+    of resynchronising: a framing error means the peer is confused and
+    the connection must die. *)
+
+exception Frame_error of string
+
+val max_payload : int
+(** Hard cap on a single payload (1 MiB).  Declared lengths above it (or
+    below zero) raise {!Frame_error} — a four-byte header can otherwise
+    ask the reader to allocate gigabytes. *)
+
+val encode : string -> string
+(** The on-wire bytes of one frame.
+    @raise Frame_error if the payload exceeds {!max_payload}. *)
+
+val decode : string -> pos:int -> (string * int) option
+(** [decode buf ~pos] parses one frame starting at [pos]: [Some (payload,
+    next_pos)], or [None] if the buffer holds only an incomplete prefix
+    (read more and retry).
+    @raise Frame_error on an oversized or negative declared length. *)
+
+val write : out_channel -> string -> unit
+(** {!encode} + [output_string] + [flush]. *)
+
+val read : in_channel -> string option
+(** Read exactly one frame; [None] on a clean EOF {e at a frame
+    boundary}.
+    @raise Frame_error on EOF mid-frame (truncated) or a bad length. *)

@@ -1,0 +1,316 @@
+module P = Farm_protocol
+
+type config = {
+  socket : string;
+  pool : Exec.Pool.t;
+  policy : Resil.Supervise.policy;
+  journal_dir : string option;
+  verbose : bool;
+}
+
+type t = {
+  cfg : config;
+  cells : (string, Farm_cell.t) Exec.Memo.t;
+  cells_journal : Resil.Journal.t option;
+  server_journal : Resil.Journal.t option;
+  (* Journal's file appends are serialised process-wide, but its
+     in-memory table is not; client threads share these journals. *)
+  journal_mutex : Mutex.t;
+  requests_served : int Atomic.t;
+  stop_flag : bool Atomic.t;
+  mutable listen_fd : Unix.file_descr option;
+}
+
+let log t fmt =
+  Printf.ksprintf
+    (fun s -> if t.cfg.verbose then Printf.eprintf "crisp_simd: %s\n%!" s)
+    fmt
+
+(* The cell-journal signature pins only the payload format: cell keys
+   already carry the instruction budgets, so one journal serves requests
+   of any size. *)
+let cells_signature = "crisp-farm cells v1 payload=hexfloat"
+let server_signature = "crisp-farm server v1"
+
+let create cfg =
+  let cells_journal, server_journal =
+    match cfg.journal_dir with
+    | None -> (None, None)
+    | Some dir ->
+      ( Some (Resil.Journal.in_dir ~dir ~name:"cells" ~signature:cells_signature),
+        Some (Resil.Journal.in_dir ~dir ~name:"server" ~signature:server_signature)
+      )
+  in
+  let served =
+    match server_journal with
+    | None -> 0
+    | Some j -> (
+      match Resil.Journal.find j "requests_served" with
+      | Some payload -> Option.value (int_of_string_opt payload) ~default:0
+      | None -> 0)
+  in
+  { cfg;
+    cells = Exec.Memo.create ~size_hint:256 ();
+    cells_journal;
+    server_journal;
+    journal_mutex = Mutex.create ();
+    requests_served = Atomic.make served;
+    stop_flag = Atomic.make false;
+    listen_fd = None }
+
+let with_journals t f =
+  Mutex.lock t.journal_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.journal_mutex) f
+
+let stats t =
+  { P.memo = Exec.Memo.stats t.cells;
+    pool = Exec.Pool.stats t.cfg.pool;
+    journal_cells =
+      (match t.cells_journal with
+      | Some j -> with_journals t (fun () -> Resil.Journal.size j)
+      | None -> 0);
+    requests_served = Atomic.get t.requests_served }
+
+(* ----- cells ----- *)
+
+(* "%h" round-trips every float bit-for-bit through float_of_string. *)
+let payload_of_value v = Printf.sprintf "%h" v
+let value_of_payload s = float_of_string_opt s
+
+let cell_key ~eval_instrs ~train_instrs ~metric ~name (c : Grid.column) =
+  Printf.sprintf "cell/%s/%s/%s/%s/%s/e%d/t%d" name
+    (Grid.metric_to_string metric)
+    c.variant
+    (match c.threshold with
+    | None -> "tdef"
+    | Some th -> Printf.sprintf "t%h" th)
+    (match c.window with
+    | None -> "wdef"
+    | Some (rs, rob) -> Printf.sprintf "w%dx%d" rs rob)
+    eval_instrs train_instrs
+
+let journal_restore t key =
+  match t.cells_journal with
+  | None -> None
+  | Some j -> (
+    match with_journals t (fun () -> Resil.Journal.find j key) with
+    | None -> None
+    | Some payload -> (
+      match value_of_payload payload with
+      | Some v -> Some v
+      | None ->
+        (* Validated line, unparsable payload: a foreign writer.  Drop
+           it and recompute rather than trust it. *)
+        Resil.Log.record
+          (Resil.Log.Quarantined
+             { ident = key; reason = "journalled cell payload is not a float" });
+        None))
+
+let journal_checkpoint t key v =
+  match t.cells_journal with
+  | None -> ()
+  | Some j -> (
+    try with_journals t (fun () ->
+        Resil.Journal.record j ~key ~payload:(payload_of_value v))
+    with exn ->
+      (* An injected or real write failure loses the checkpoint, never
+         the result. *)
+      Resil.Log.record
+        (Resil.Log.Quarantined
+           { ident = key;
+             reason = "cell checkpoint failed: " ^ Printexc.to_string exn }))
+
+(* Acquire one cell: journal hit, live/completed memo entry, or a fresh
+   supervised spawn.  [find_or_run]'s thunk runs at most once per key at
+   a time, so [fresh] tells us whether *we* created the handle. *)
+let acquire t ~metric ~eval_instrs ~train_instrs ~name column =
+  let key = cell_key ~eval_instrs ~train_instrs ~metric ~name column in
+  let fresh = ref None in
+  let handle =
+    Exec.Memo.find_or_run t.cells key (fun () ->
+        match journal_restore t key with
+        | Some v ->
+          fresh := Some P.Journal_hit;
+          Resil.Log.record (Resil.Log.Restored { ident = key });
+          log t "journal hit %s" key;
+          Farm_cell.of_result (Ok v)
+        | None ->
+          fresh := Some P.Computed;
+          log t "spawn %s" key;
+          Farm_cell.spawn t.cfg.pool t.cfg.policy ~ident:key
+            ~on_success:(fun v -> journal_checkpoint t key v)
+            ~on_failure:(fun reason ->
+              (* Evict so a later request retries; never journalled. *)
+              Exec.Memo.remove t.cells key;
+              Resil.Log.record (Resil.Log.Degraded { ident = key; error = reason });
+              log t "degraded %s: %s" key reason)
+            (fun () ->
+              Grid.cell_value ~eval_instrs ~train_instrs ~name ~metric column))
+  in
+  let source = match !fresh with Some s -> s | None -> P.Memo_hit in
+  (key, source, handle)
+
+(* ----- grid requests ----- *)
+
+let spec_of_req (g : P.grid_req) : Grid.spec =
+  { tag = g.tag;
+    title = g.tag;
+    with_mean = false;
+    metric = g.metric;
+    columns = g.columns;
+    names = g.names }
+
+(* Spawn the long-pole applications first so the slowest rows overlap
+   with everything else (same ordering as Experiments.submit_cells). *)
+let long_poles = [ "mcf"; "xhpcg"; "omnetpp"; "moses" ]
+
+let row_order names =
+  let indexed = List.mapi (fun i n -> (i, n)) names in
+  let heavy, light =
+    List.partition (fun (_, n) -> List.mem n long_poles) indexed
+  in
+  List.map fst (heavy @ light)
+
+let serve_grid t ~send (g : P.grid_req) =
+  match Grid.validate (spec_of_req g) with
+  | Error msg ->
+    log t "rejecting grid %s (%s): %s" g.tag g.id msg;
+    send (P.Error_reply (Printf.sprintf "invalid grid request %s: %s" g.tag msg))
+  | Ok () ->
+    let names = Array.of_list g.names in
+    let columns = Array.of_list g.columns in
+    let nrows = Array.length names and ncols = Array.length columns in
+    let acquired = Array.make_matrix nrows ncols None in
+    List.iter
+      (fun r ->
+        Array.iteri
+          (fun c column ->
+            acquired.(r).(c) <-
+              Some
+                (acquire t ~metric:g.metric ~eval_instrs:g.eval_instrs
+                   ~train_instrs:g.train_instrs ~name:names.(r) column))
+          columns)
+      (row_order g.names);
+    let computed = ref 0 and memo_hits = ref 0 and journal_hits = ref 0 in
+    let degraded = ref 0 in
+    for r = 0 to nrows - 1 do
+      for c = 0 to ncols - 1 do
+        let key, source, handle = Option.get acquired.(r).(c) in
+        (match source with
+        | P.Computed -> incr computed
+        | P.Memo_hit -> incr memo_hits
+        | P.Journal_hit -> incr journal_hits);
+        let outcome = Farm_cell.await handle in
+        if Result.is_error outcome then incr degraded;
+        send
+          (P.Cell
+             { cell_id = key;
+               row = r;
+               col = c;
+               name = names.(r);
+               label = columns.(c).Grid.label;
+               source;
+               outcome })
+      done
+    done;
+    let served = Atomic.fetch_and_add t.requests_served 1 + 1 in
+    (match t.server_journal with
+    | None -> ()
+    | Some j -> (
+      try
+        with_journals t (fun () ->
+            Resil.Journal.record j ~key:"requests_served"
+              ~payload:(string_of_int served);
+            Resil.Journal.record j ~key:("last_request/" ^ g.tag) ~payload:g.id)
+      with _ -> ()));
+    log t "grid %s (%s) done: %d cells, %d computed, %d memo, %d journal, %d degraded"
+      g.tag g.id (nrows * ncols) !computed !memo_hits !journal_hits !degraded;
+    send
+      (P.Summary
+         { req_id = g.id;
+           cells = nrows * ncols;
+           computed = !computed;
+           memo_hits = !memo_hits;
+           journal_hits = !journal_hits;
+           degraded = !degraded;
+           farm = stats t })
+
+(* ----- connections ----- *)
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then
+    match t.listen_fd with
+    | Some fd ->
+      (* shutdown(2), not close(2): closing a listening socket does not
+         wake a thread blocked in accept(2) on Linux, but shutting it
+         down makes the accept fail immediately (EINVAL).  The fd itself
+         is closed by {!run}'s cleanup once the loop exits. *)
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    | None -> ()
+
+let handle_client t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send resp = Farm_frame.write oc (P.encode_response resp) in
+  let rec loop () =
+    match Farm_frame.read ic with
+    | None -> ()
+    | Some payload -> (
+      match P.decode_request payload with
+      | Error msg ->
+        (* A client that speaks garbage gets one loud error and the
+           door: resynchronising a confused peer helps nobody. *)
+        log t "rejecting request: %s" msg;
+        send (P.Error_reply msg)
+      | Ok P.Ping ->
+        send P.Pong;
+        loop ()
+      | Ok P.Stats ->
+        send (P.Stats_reply (stats t));
+        loop ()
+      | Ok P.Shutdown ->
+        log t "shutdown requested by client";
+        send P.Shutting_down;
+        stop t
+      | Ok (P.Run_grid g) ->
+        serve_grid t ~send g;
+        loop ())
+  in
+  (try loop () with
+  | Farm_frame.Frame_error msg ->
+    log t "client framing error: %s" msg;
+    (try send (P.Error_reply ("framing error: " ^ msg)) with _ -> ())
+  | Sys_error _ | Unix.Unix_error _ -> (* peer vanished mid-write *) ());
+  close_out_noerr oc;
+  close_in_noerr ic
+
+let run t =
+  (* A dying client must surface as EPIPE on our write, not kill the
+     daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  if Sys.file_exists t.cfg.socket then Unix.unlink t.cfg.socket;
+  Unix.bind fd (Unix.ADDR_UNIX t.cfg.socket);
+  Unix.listen fd 16;
+  t.listen_fd <- Some fd;
+  log t "listening on %s (%d workers)" t.cfg.socket
+    (Exec.Pool.parallelism t.cfg.pool);
+  let clients = ref [] in
+  let rec accept_loop () =
+    if not (Atomic.get t.stop_flag) then
+      match Unix.accept ~cloexec:true fd with
+      | client, _ ->
+        clients := Thread.create (handle_client t) client :: !clients;
+        accept_loop ()
+      | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ when Atomic.get t.stop_flag ->
+        (* {!stop} closed the socket under us to unblock this accept. *)
+        ()
+  in
+  Fun.protect accept_loop ~finally:(fun () ->
+      stop t;
+      List.iter Thread.join !clients;
+      t.listen_fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink t.cfg.socket with Unix.Unix_error _ | Sys_error _ -> ());
+      log t "stopped after %d requests" (Atomic.get t.requests_served))

@@ -1,0 +1,48 @@
+(** The simulation-farm daemon core: accepts clients on a Unix-domain
+    socket, decomposes their grid requests into canonical cells, dedups
+    identical cells across {e all} connected clients through one
+    {!Exec.Memo}, shards the work over an {!Exec.Pool}, runs every cell
+    under {!Resil.Supervise}, and checkpoints completed cells in a
+    {!Resil.Journal} so a SIGKILL'd daemon resumes warm.
+
+    Cell identity is the canonical key built from (workload, metric,
+    variant, threshold, window, instruction budgets) — deliberately {e
+    not} the grid tag, so fig7's CRISP column and fig8's combined
+    column, or the same grid requested by two clients, are the same
+    cell and simulate once.
+
+    Each client connection is handled on its own system thread; the
+    worker domains of the shared pool do the actual simulation.  A
+    degraded cell (timeout, crash, quarantine) is reported to the
+    requesting clients, evicted from the memo so a later request
+    retries it, and never journalled. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path (note the ~107-byte limit) *)
+  pool : Exec.Pool.t;
+  policy : Resil.Supervise.policy;
+  journal_dir : string option;
+      (** holds the ["cells"] checkpoint journal and the ["server"]
+          state journal; [None] disables persistence *)
+  verbose : bool;  (** per-event logging on stderr *)
+}
+
+type t
+
+val create : config -> t
+(** Build the farm state: open (and validate) the journals, restore the
+    served-request counter.  Does not touch the socket yet. *)
+
+val stats : t -> Farm_protocol.farm_stats
+
+val run : t -> unit
+(** Bind the socket (unlinking a stale file), ignore [SIGPIPE], and
+    accept clients until {!stop}; then join every client thread and
+    remove the socket.  Blocks the calling thread for the daemon's
+    lifetime. *)
+
+val stop : t -> unit
+(** Request shutdown: flips the stop flag and closes the listening
+    socket so the accept loop unblocks.  Safe to call from a signal
+    handler or any thread; idempotent.  In-flight grid requests finish
+    streaming before {!run} returns. *)

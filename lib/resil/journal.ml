@@ -1,4 +1,4 @@
-let version = 1
+let version = 2
 
 type entry = {
   payload : string;  (* the validated truth, served by [find] *)
@@ -19,9 +19,35 @@ let path t = t.path
 let signature t = t.signature
 
 let bad_path path = path ^ ".bad"
-let tmp_path path = path ^ ".tmp"
 
 let header_line sig_digest = Printf.sprintf "crisp-journal %d %s" version sig_digest
+
+(* Entry digests cover the signature digest as well as the payload, so a
+   line appended under one run signature can never be trusted by a journal
+   opened under another — even if several journals interleave lines in one
+   file, each load validates only its own. *)
+let entry_digest sig_digest payload = Digest.to_hex (Digest.string (sig_digest ^ payload))
+
+(* One process-wide lock for the exists-check + append pairs, so several
+   live journals on one path (the daemon's server-state journal next to a
+   grid journal, or an operator mistake) serialise their writes instead of
+   interleaving bytes mid-line. *)
+let io_mutex = Mutex.create ()
+
+(* Append whole lines with a single write(2) on an O_APPEND descriptor:
+   concurrent appenders (and a SIGKILL) can only ever leave a torn *tail*,
+   which the checksum quarantine catches on the next load. *)
+let append_text path text =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let b = Bytes.of_string text in
+      let n = Bytes.length b in
+      let rec go off =
+        if off < n then go (off + Unix.write fd b off (n - off))
+      in
+      go 0)
 
 let sanitize_key key =
   String.map (fun c -> if c = ' ' || c = '\t' || c = '\n' || c = '\r' then '_' else c) key
@@ -87,7 +113,7 @@ let load_entry t line =
       quarantine_lines t [ line ] key "journal entry payload is not hex; quarantined"
     | Some raw ->
       let payload = Fault_plan.mangle ~ident:key "journal.read" raw in
-      if Digest.to_hex (Digest.string payload) = digest_hex then
+      if entry_digest t.sig_digest payload = digest_hex then
         Hashtbl.replace t.entries key { payload; stored = payload }
       else
         quarantine_lines t [ line ] key
@@ -127,30 +153,18 @@ let load ~path ~signature =
                    moved to .bad" })
        end
        else List.iter (load_entry t) rest);
-  t
-
-(* Rewrite the whole journal through tmp + rename.  Keys are written in
-   sorted order so the on-disk bytes are a pure function of the
-   contents. *)
-let flush_locked t =
-  let tmp = tmp_path t.path in
-  let oc = open_out_bin tmp in
+  (* Eagerly materialise the header so every later [record] is a pure
+     append: a file that is missing here either never existed or was just
+     quarantined to .bad. *)
+  Mutex.lock io_mutex;
   (try
-     output_string oc (header_line t.sig_digest ^ "\n");
-     let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] in
-     List.iter
-       (fun key ->
-         let e = Hashtbl.find t.entries key in
-         output_string oc
-           (Printf.sprintf "%s %s %s\n" key
-              (Digest.to_hex (Digest.string e.payload))
-              (hex_encode e.stored)))
-       (List.sort compare keys);
-     close_out oc
-   with exn ->
-     close_out_noerr oc;
-     raise exn);
-  Sys.rename tmp t.path
+     if not (Sys.file_exists path) then
+       append_text path (header_line sig_digest ^ "\n")
+   with e ->
+     Mutex.unlock io_mutex;
+     raise e);
+  Mutex.unlock io_mutex;
+  t
 
 let record t ~key ~payload =
   let key = sanitize_key key in
@@ -159,7 +173,22 @@ let record t ~key ~payload =
          mangle point, so an injected corruption is detectable on load. *)
       let stored = Fault_plan.mangle ~ident:key "journal.write" payload in
       Hashtbl.replace t.entries key { payload; stored };
-      flush_locked t)
+      let line =
+        Printf.sprintf "%s %s %s\n" key
+          (entry_digest t.sig_digest payload)
+          (hex_encode stored)
+      in
+      Mutex.lock io_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock io_mutex)
+        (fun () ->
+          (* Re-seed the header if the file vanished since load (e.g. a
+             sibling journal with a different signature quarantined it):
+             an appended entry under a missing or foreign header would be
+             unusable at best. *)
+          if not (Sys.file_exists t.path) then
+            append_text t.path (header_line t.sig_digest ^ "\n");
+          append_text t.path line))
 
 let find t key =
   let key = sanitize_key key in
@@ -168,3 +197,25 @@ let find t key =
 
 let size t = locked t (fun () -> Hashtbl.length t.entries)
 let quarantined t = t.quarantined
+
+(* ---- named journals ---- *)
+
+let sanitize_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let in_dir ~dir ~name ~signature =
+  if name = "" then invalid_arg "Resil.Journal.in_dir: empty journal name";
+  let slug = sanitize_name name in
+  mkdir_p dir;
+  load ~path:(Filename.concat dir (slug ^ ".journal")) ~signature

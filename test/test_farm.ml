@@ -1,0 +1,460 @@
+(* Tests for the simulation farm: the length-prefixed frame layer (loud
+   rejection of truncated/oversized/garbage input), qcheck roundtrips of
+   the JSON wire protocol, and the end-to-end daemon property — two
+   concurrent clients with overlapping grids get rows identical to the
+   sequential runner while overlapping cells simulate exactly once, and
+   a restarted daemon serves journalled cells without recomputing. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let tmpdir =
+  let counter = ref 0 in
+  fun () ->
+    let rec go () =
+      incr counter;
+      (* Short paths: the socket lives here and sun_path is ~107 bytes. *)
+      let p =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "cfarm%d.%d" (Unix.getpid ()) !counter)
+      in
+      match Unix.mkdir p 0o700 with
+      | () -> p
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go ()
+    in
+    go ()
+
+(* ---------------- Farm_frame ---------------- *)
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun payload ->
+      let wire = Farm_frame.encode payload in
+      check int "frame size" (4 + String.length payload) (String.length wire);
+      match Farm_frame.decode wire ~pos:0 with
+      | Some (p, next) ->
+        check string "payload survives" payload p;
+        check int "cursor lands at end" (String.length wire) next
+      | None -> Alcotest.fail "complete frame not decoded")
+    [ ""; "x"; "{\"req\":\"ping\"}"; String.make 4096 'a' ]
+
+let test_frame_incomplete_prefix () =
+  let wire = Farm_frame.encode "hello world" in
+  for cut = 0 to String.length wire - 1 do
+    match Farm_frame.decode (String.sub wire 0 cut) ~pos:0 with
+    | None -> ()
+    | Some _ -> Alcotest.failf "decoded a %d-byte prefix of a %d-byte frame" cut
+                  (String.length wire)
+  done
+
+let test_frame_oversized_rejected () =
+  (match Farm_frame.encode (String.make (Farm_frame.max_payload + 1) 'x') with
+  | exception Farm_frame.Frame_error _ -> ()
+  | _ -> Alcotest.fail "oversized encode accepted");
+  let huge = Bytes.create 4 in
+  Bytes.set_int32_be huge 0 0x7fffffffl;
+  (match Farm_frame.decode (Bytes.to_string huge) ~pos:0 with
+  | exception Farm_frame.Frame_error _ -> ()
+  | _ -> Alcotest.fail "oversized declared length accepted");
+  let negative = Bytes.create 4 in
+  Bytes.set_int32_be negative 0 (-1l);
+  match Farm_frame.decode (Bytes.to_string negative) ~pos:0 with
+  | exception Farm_frame.Frame_error _ -> ()
+  | _ -> Alcotest.fail "negative declared length accepted"
+
+(* Channel-level read: write raw bytes to a file, read them back as
+   frames — exactly what a confused or dying peer looks like. *)
+let read_frames_of_bytes bytes =
+  let path = Filename.temp_file "cfarm_frame" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match Farm_frame.read ic with
+            | Some p -> go (p :: acc)
+            | None -> Ok (List.rev acc)
+            | exception Farm_frame.Frame_error msg -> Error msg
+          in
+          go []))
+
+let test_frame_read_streams () =
+  (match read_frames_of_bytes (Farm_frame.encode "a" ^ Farm_frame.encode "bb") with
+  | Ok [ "a"; "bb" ] -> ()
+  | Ok other -> Alcotest.failf "wrong frames: %d" (List.length other)
+  | Error msg -> Alcotest.failf "clean stream rejected: %s" msg);
+  (match read_frames_of_bytes "" with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty stream is a clean EOF");
+  (* Truncated mid-header and mid-payload both fail loudly. *)
+  let wire = Farm_frame.encode "payload" in
+  (match read_frames_of_bytes (String.sub wire 0 2) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated header accepted");
+  (match read_frames_of_bytes (String.sub wire 0 (String.length wire - 3)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated payload accepted");
+  (* Garbage header bytes decode as an absurd length. *)
+  match read_frames_of_bytes "GARBAGE-NOT-A-FRAME" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted as a frame"
+
+(* ---------------- Farm_protocol roundtrips ---------------- *)
+
+(* Encoding is deterministic, so [encode (decode (encode m)) = encode m]
+   is a full roundtrip property that sidesteps NaN <> NaN float
+   comparison in message records. *)
+
+let gen_name =
+  QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 12))
+
+let gen_label =
+  (* Printable text with the characters JSON must escape. *)
+  QCheck.Gen.(
+    string_size ~gen:(oneof [ char_range ' ' '~'; return '"'; return '\\' ])
+      (int_range 0 16))
+
+let gen_float =
+  QCheck.Gen.(
+    oneof
+      [ float;
+        oneofl [ 0.; -0.; 1e-300; 1.7976931348623157e308; 0.0423728813559322 ] ])
+
+let gen_column =
+  let open QCheck.Gen in
+  let* label = gen_label in
+  let* variant = gen_name in
+  let* threshold = opt gen_float in
+  let* window = opt (pair (int_range 1 512) (int_range 1 1024)) in
+  return { Grid.label; variant; threshold; window }
+
+let gen_request =
+  let open QCheck.Gen in
+  oneof
+    [ return Farm_protocol.Ping;
+      return Farm_protocol.Stats;
+      return Farm_protocol.Shutdown;
+      (let* id = gen_name in
+       let* tag = gen_name in
+       let* metric =
+         oneofl [ Grid.Gain; Grid.Slice_size; Grid.Static_count ]
+       in
+       let* eval_instrs = int_range 0 1_000_000 in
+       let* train_instrs = int_range 0 1_000_000 in
+       let* names = list_size (int_range 0 6) gen_name in
+       let* columns = list_size (int_range 0 6) gen_column in
+       return
+         (Farm_protocol.Run_grid
+            { id; tag; metric; eval_instrs; train_instrs; names; columns })) ]
+
+let gen_memo_stats =
+  let open QCheck.Gen in
+  let* hits = small_nat and* misses = small_nat and* dedups = small_nat in
+  let* evictions = small_nat and* entries = small_nat in
+  return { Exec.Memo.hits; misses; dedups; evictions; entries }
+
+let gen_pool_stats =
+  let open QCheck.Gen in
+  let* workers = int_range 1 64 and* queued = small_nat in
+  let* running = small_nat and* stolen = small_nat in
+  return { Exec.Pool.workers; queued; running; stolen }
+
+let gen_farm_stats =
+  let open QCheck.Gen in
+  let* memo = gen_memo_stats and* pool = gen_pool_stats in
+  let* journal_cells = small_nat and* requests_served = small_nat in
+  return { Farm_protocol.memo; pool; journal_cells; requests_served }
+
+let gen_response =
+  let open QCheck.Gen in
+  oneof
+    [ return Farm_protocol.Pong;
+      return Farm_protocol.Shutting_down;
+      (let* s = gen_farm_stats in
+       return (Farm_protocol.Stats_reply s));
+      (let* msg = gen_label in
+       return (Farm_protocol.Error_reply msg));
+      (let* cell_id = gen_name in
+       let* row = small_nat and* col = small_nat in
+       let* name = gen_name and* label = gen_label in
+       let* source =
+         oneofl
+           [ Farm_protocol.Computed; Farm_protocol.Memo_hit;
+             Farm_protocol.Journal_hit ]
+       in
+       let* outcome =
+         oneof
+           [ (let* v = gen_float in
+              return (Ok v));
+             (let* r = gen_label in
+              return (Error r)) ]
+       in
+       return
+         (Farm_protocol.Cell { cell_id; row; col; name; label; source; outcome }));
+      (let* req_id = gen_name in
+       let* cells = small_nat and* computed = small_nat in
+       let* memo_hits = small_nat and* journal_hits = small_nat in
+       let* degraded = small_nat and* farm = gen_farm_stats in
+       return
+         (Farm_protocol.Summary
+            { req_id; cells; computed; memo_hits; journal_hits; degraded; farm }))
+    ]
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request roundtrips through the wire" ~count:200
+    (QCheck.make gen_request ~print:Farm_protocol.encode_request)
+    (fun req ->
+      let wire = Farm_protocol.encode_request req in
+      match Farm_protocol.decode_request wire with
+      | Error msg -> QCheck.Test.fail_reportf "decode rejected %s: %s" wire msg
+      | Ok req' -> String.equal wire (Farm_protocol.encode_request req'))
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response roundtrips through the wire" ~count:200
+    (QCheck.make gen_response ~print:Farm_protocol.encode_response)
+    (fun resp ->
+      let wire = Farm_protocol.encode_response resp in
+      match Farm_protocol.decode_response wire with
+      | Error msg -> QCheck.Test.fail_reportf "decode rejected %s: %s" wire msg
+      | Ok resp' -> String.equal wire (Farm_protocol.encode_response resp'))
+
+(* Frames also survive the framing layer unchanged. *)
+let prop_framed_roundtrip =
+  QCheck.Test.make ~name:"framed message survives encode+decode" ~count:100
+    (QCheck.make gen_request ~print:Farm_protocol.encode_request)
+    (fun req ->
+      let payload = Farm_protocol.encode_request req in
+      match Farm_frame.decode (Farm_frame.encode payload) ~pos:0 with
+      | Some (p, _) -> String.equal p payload
+      | None -> false)
+
+let test_decode_rejects_garbage () =
+  let rejected what s decode =
+    match decode s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted: %s" what s
+  in
+  List.iter
+    (fun s ->
+      rejected "request" s Farm_protocol.decode_request;
+      rejected "response" s Farm_protocol.decode_response)
+    [ ""; "{"; "null"; "42"; "\"ping\""; "{}"; "{\"req\":\"warp\"}";
+      "{\"resp\":\"warp\"}"; "{\"req\":\"grid\",\"id\":\"x\"}" ];
+  (* Structurally valid JSON with broken fields. *)
+  rejected "float row index"
+    "{\"resp\":\"cell\",\"cell\":\"k\",\"row\":1.5,\"col\":0,\"name\":\"n\",\
+     \"label\":\"l\",\"source\":\"memo\",\"ok\":1}"
+    Farm_protocol.decode_response;
+  rejected "unknown source"
+    "{\"resp\":\"cell\",\"cell\":\"k\",\"row\":1,\"col\":0,\"name\":\"n\",\
+     \"label\":\"l\",\"source\":\"psychic\",\"ok\":1}"
+    Farm_protocol.decode_response;
+  rejected "conflicting outcome"
+    "{\"resp\":\"cell\",\"cell\":\"k\",\"row\":1,\"col\":0,\"name\":\"n\",\
+     \"label\":\"l\",\"source\":\"memo\",\"ok\":1,\"degraded\":\"r\"}"
+    Farm_protocol.decode_response;
+  rejected "bad window arity"
+    "{\"req\":\"grid\",\"id\":\"i\",\"tag\":\"t\",\"metric\":\"gain\",\
+     \"eval_instrs\":1,\"train_instrs\":1,\"names\":[],\
+     \"columns\":[{\"label\":\"l\",\"variant\":\"crisp\",\"window\":[1]}]}"
+    Farm_protocol.decode_request
+
+(* ---------------- end-to-end daemon ---------------- *)
+
+let small_eval = 4000
+let small_train = 3000
+
+let col ?threshold ?window label variant =
+  { Grid.label; variant; threshold; window }
+
+(* Two grids with different tags that overlap on the (pointer_chase, xz)
+   x crisp cells: cell identity must be tag-independent. *)
+let grid_a : Grid.spec =
+  { tag = "farm-a"; title = "farm A"; with_mean = false; metric = Grid.Gain;
+    columns = [ col "CRISP" "crisp"; col "IBDA-1K" "ibda-1k" ];
+    names = [ "pointer_chase"; "xz" ] }
+
+let grid_b : Grid.spec =
+  { tag = "farm-b"; title = "farm B"; with_mean = false; metric = Grid.Gain;
+    columns = [ col "CRISP" "crisp" ];
+    names = [ "pointer_chase"; "xz"; "nab" ] }
+
+let with_server ?journal_dir ~workers f =
+  let dir = tmpdir () in
+  let socket = Filename.concat dir "s" in
+  let pool =
+    if workers <= 1 then Exec.Pool.sequential
+    else Exec.Pool.create ~workers ()
+  in
+  let srv =
+    Farm_server.create
+      { Farm_server.socket; pool; policy = Resil.Supervise.default_policy;
+        journal_dir; verbose = false }
+  in
+  let th = Thread.create Farm_server.run srv in
+  Fun.protect
+    (fun () -> f ~socket ~srv)
+    ~finally:(fun () ->
+      Farm_server.stop srv;
+      Thread.join th;
+      if workers > 1 then Exec.Pool.shutdown pool)
+
+let connect socket =
+  let rec go n =
+    match Farm_client.connect ~socket with
+    | c -> c
+    | exception Farm_client.Farm_error _ when n > 0 ->
+      Thread.delay 0.02;
+      go (n - 1)
+  in
+  go 250
+
+let run_one socket (spec : Grid.spec) =
+  let c = connect socket in
+  Fun.protect
+    ~finally:(fun () -> Farm_client.close c)
+    (fun () ->
+      Farm_client.run_grid c ~spec ~eval_instrs:small_eval
+        ~train_instrs:small_train ())
+
+(* The sequential reference: what `experiments --jobs 1` computes for the
+   same spec (Grid.cell_value is exactly its cell function). *)
+let reference (spec : Grid.spec) =
+  List.map
+    (fun name ->
+      ( name,
+        List.map
+          (Grid.cell_value ~eval_instrs:small_eval ~train_instrs:small_train
+             ~name ~metric:spec.Grid.metric)
+          spec.Grid.columns ))
+    spec.Grid.names
+
+let check_rows what expected (rows : (string * float list) list) =
+  (* Exact float equality: the wire must not perturb a single bit. *)
+  check bool what true (expected = rows)
+
+let test_farm_matches_sequential_exactly_once () =
+  Runner.clear_cache ();
+  with_server ~workers:2 @@ fun ~socket ~srv ->
+  let results = Array.make 2 None in
+  let client i spec () = results.(i) <- Some (run_one socket spec) in
+  let t1 = Thread.create (client 0 grid_a) () in
+  let t2 = Thread.create (client 1 grid_b) () in
+  Thread.join t1;
+  Thread.join t2;
+  let ra = Option.get results.(0) and rb = Option.get results.(1) in
+  check int "grid A streamed all cells" 4 ra.Farm_client.summary.Farm_protocol.cells;
+  check int "grid B streamed all cells" 3 rb.Farm_client.summary.Farm_protocol.cells;
+  check int "nothing degraded" 0
+    (ra.Farm_client.summary.Farm_protocol.degraded
+    + rb.Farm_client.summary.Farm_protocol.degraded);
+  (* Exactly-once across clients: 4 + 3 cells, 2 overlapping -> 5 unique
+     simulations, 2 served as hits or in-flight dedups. *)
+  let st = Farm_server.stats srv in
+  check int "unique cells simulated exactly once" 5
+    st.Farm_protocol.memo.Exec.Memo.misses;
+  check int "overlapping cells shared, not recomputed" 2
+    (st.Farm_protocol.memo.Exec.Memo.hits
+    + st.Farm_protocol.memo.Exec.Memo.dedups);
+  check int "per-request accounting agrees" 5
+    (ra.Farm_client.summary.Farm_protocol.computed
+    + rb.Farm_client.summary.Farm_protocol.computed);
+  (* Identical to the sequential runner, recomputed from scratch. *)
+  Runner.clear_cache ();
+  check_rows "grid A rows identical to sequential runner" (reference grid_a)
+    ra.Farm_client.rows;
+  check_rows "grid B rows identical to sequential runner" (reference grid_b)
+    rb.Farm_client.rows
+
+let test_farm_restart_serves_from_journal () =
+  Runner.clear_cache ();
+  let jdir = tmpdir () in
+  let first =
+    with_server ~journal_dir:jdir ~workers:1 @@ fun ~socket ~srv:_ ->
+    run_one socket grid_b
+  in
+  check int "first run computes everything" 3
+    first.Farm_client.summary.Farm_protocol.computed;
+  (* Cold restart: fresh server state, cold runner memo.  The journal on
+     disk is all that survives. *)
+  Runner.clear_cache ();
+  let misses_before = (Runner.cache_stats ()).Exec.Memo.misses in
+  let second =
+    with_server ~journal_dir:jdir ~workers:1 @@ fun ~socket ~srv:_ ->
+    run_one socket grid_b
+  in
+  check int "restart recomputes nothing" 0
+    second.Farm_client.summary.Farm_protocol.computed;
+  check int "every cell restored from the journal" 3
+    second.Farm_client.summary.Farm_protocol.journal_hits;
+  let misses_after = (Runner.cache_stats ()).Exec.Memo.misses in
+  check int "no simulation ran after the restart" misses_before misses_after;
+  check bool "journalled rows identical to computed rows" true
+    (first.Farm_client.rows = second.Farm_client.rows)
+
+(* A peer speaking garbage gets a loud error and a closed connection,
+   and the daemon survives to serve the next client. *)
+let test_daemon_rejects_garbage_loudly () =
+  with_server ~workers:1 @@ fun ~socket ~srv:_ ->
+  (* Wait until the daemon is accepting before talking raw bytes. *)
+  Farm_client.close (connect socket);
+  let talk bytes =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    output_string oc bytes;
+    flush oc;
+    Unix.shutdown fd Unix.SHUTDOWN_SEND;
+    let rec drain acc =
+      match Farm_frame.read ic with
+      | Some p -> drain (p :: acc)
+      | None -> List.rev acc
+      | exception Farm_frame.Frame_error _ -> List.rev acc
+    in
+    let frames = drain [] in
+    close_in_noerr ic;
+    close_out_noerr oc;
+    frames
+  in
+  (* Valid frame, garbage payload: one Error_reply, then EOF. *)
+  (match talk (Farm_frame.encode "certainly not json") with
+  | [ one ] -> (
+    match Farm_protocol.decode_response one with
+    | Ok (Farm_protocol.Error_reply _) -> ()
+    | _ -> Alcotest.fail "expected an error reply")
+  | frames -> Alcotest.failf "expected 1 reply frame, got %d" (List.length frames));
+  (* Framing-level garbage: connection dies (optionally after an error
+     frame); the daemon must not. *)
+  ignore (talk "\xff\xff\xff\xffgarbage");
+  let c = connect socket in
+  Farm_client.ping c;
+  Farm_client.close c
+
+let () =
+  Alcotest.run "farm"
+    [ ( "frame",
+        [ Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "incomplete prefix" `Quick test_frame_incomplete_prefix;
+          Alcotest.test_case "oversized rejected" `Quick test_frame_oversized_rejected;
+          Alcotest.test_case "channel read" `Quick test_frame_read_streams ] );
+      ( "protocol",
+        [ QCheck_alcotest.to_alcotest prop_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_response_roundtrip;
+          QCheck_alcotest.to_alcotest prop_framed_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_decode_rejects_garbage ] );
+      ( "daemon",
+        [ Alcotest.test_case "concurrent clients, exact dedup" `Quick
+            test_farm_matches_sequential_exactly_once;
+          Alcotest.test_case "restart serves from journal" `Quick
+            test_farm_restart_serves_from_journal;
+          Alcotest.test_case "garbage rejected loudly" `Quick
+            test_daemon_rejects_garbage_loudly ] ) ]

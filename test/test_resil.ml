@@ -345,6 +345,62 @@ let test_journal_write_corruption_detected_on_load () =
     None (Resil.Journal.find j2 "c");
   check int "quarantined on load" 1 (Resil.Journal.quarantined j2)
 
+(* Several named journals in one process (the farm daemon's layout):
+   distinct files, no cross-talk, names sanitised to safe slugs. *)
+let test_journal_named_in_dir () =
+  let dir = Filename.temp_file "crisp_test" ".dir" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      let cells = Resil.Journal.in_dir ~dir ~name:"cells" ~signature:"cells-v1" in
+      let server = Resil.Journal.in_dir ~dir ~name:"server" ~signature:"server-v1" in
+      Resil.Journal.record cells ~key:"cell/a" ~payload:"1.5";
+      Resil.Journal.record server ~key:"requests_served" ~payload:"7";
+      check bool "distinct files" true
+        (Resil.Journal.path cells <> Resil.Journal.path server);
+      check (Alcotest.option Alcotest.string) "no cross-talk" None
+        (Resil.Journal.find cells "requests_served");
+      (* fresh loads see their own journal only *)
+      let cells2 = Resil.Journal.in_dir ~dir ~name:"cells" ~signature:"cells-v1" in
+      let server2 = Resil.Journal.in_dir ~dir ~name:"server" ~signature:"server-v1" in
+      check (Alcotest.option Alcotest.string) "cells survive" (Some "1.5")
+        (Resil.Journal.find cells2 "cell/a");
+      check (Alcotest.option Alcotest.string) "server state survives" (Some "7")
+        (Resil.Journal.find server2 "requests_served");
+      (* hostile names become filesystem-safe slugs inside dir *)
+      let weird = Resil.Journal.in_dir ~dir ~name:"../esc ape" ~signature:"w" in
+      check bool "sanitised path stays in dir" true
+        (Filename.dirname (Resil.Journal.path weird) = dir);
+      match Resil.Journal.in_dir ~dir ~name:"" ~signature:"w" with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "empty journal name accepted")
+
+(* Two instances accidentally opened on the same path append whole lines
+   (no clobbering); a fresh load sees every entry, last line per key
+   winning. *)
+let test_journal_same_path_two_instances () =
+  with_temp_journal @@ fun path ->
+  let j1 = Resil.Journal.load ~path ~signature:"s" in
+  let j2 = Resil.Journal.load ~path ~signature:"s" in
+  Resil.Journal.record j1 ~key:"a" ~payload:"from-j1";
+  Resil.Journal.record j2 ~key:"b" ~payload:"from-j2";
+  Resil.Journal.record j1 ~key:"shared" ~payload:"old";
+  Resil.Journal.record j2 ~key:"shared" ~payload:"new";
+  let fresh = Resil.Journal.load ~path ~signature:"s" in
+  check int "all keys survive interleaved writers" 3 (Resil.Journal.size fresh);
+  check int "nothing quarantined" 0 (Resil.Journal.quarantined fresh);
+  check (Alcotest.option Alcotest.string) "j1 entry kept" (Some "from-j1")
+    (Resil.Journal.find fresh "a");
+  check (Alcotest.option Alcotest.string) "j2 entry kept" (Some "from-j2")
+    (Resil.Journal.find fresh "b");
+  check (Alcotest.option Alcotest.string) "last line wins" (Some "new")
+    (Resil.Journal.find fresh "shared")
+
 (* ---------------- Runner memo integrity ---------------- *)
 
 let test_runner_memo_corruption_recovers () =
@@ -579,7 +635,11 @@ let () =
           Alcotest.test_case "corrupt-entry" `Quick
             (isolated test_journal_corrupt_entry_quarantined);
           Alcotest.test_case "write-corruption-detected" `Quick
-            (isolated test_journal_write_corruption_detected_on_load) ] );
+            (isolated test_journal_write_corruption_detected_on_load);
+          Alcotest.test_case "named-journals-in-dir" `Quick
+            (isolated test_journal_named_in_dir);
+          Alcotest.test_case "same-path-two-instances" `Quick
+            (isolated test_journal_same_path_two_instances) ] );
       ( "runner",
         [ Alcotest.test_case "memo-corruption-recovers" `Slow
             (isolated test_runner_memo_corruption_recovers) ] );
