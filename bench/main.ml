@@ -125,6 +125,7 @@ let () =
     | "fig10" -> ignore (Experiments.fig10 ~sizes ())
     | "fig11" -> ignore (Experiments.fig11 ~sizes ())
     | "fig12" -> ignore (Experiments.fig12 ~sizes ())
+    | "static_crit" -> ignore (Experiments.static_crit ~sizes ())
     | "ablations" -> ignore (Experiments.ablations ~sizes ())
     | "division" -> ignore (Experiments.division ~sizes ())
     | "micro" -> micro_benchmarks ()

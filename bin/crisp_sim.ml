@@ -258,18 +258,44 @@ let scoreboard_arg =
   in
   Arg.(value & flag & info [ "scoreboard" ] ~doc)
 
-let check all workload instrs train_instrs with_scoreboard =
+let static_arg =
+  let doc =
+    "Also run the profile-free static criticality predictor twice (requiring \
+     bit-identical output) and score it against the profiled CRISP tagger."
+  in
+  Arg.(value & flag & info [ "static" ] ~doc)
+
+let check all workload instrs train_instrs with_scoreboard with_static =
   if not all then require_workload workload;
   let reports =
     if all then
-      Check_runner.check_all ~instrs ~train_instrs ~scoreboard:with_scoreboard ()
+      Check_runner.check_all ~instrs ~train_instrs ~scoreboard:with_scoreboard
+        ~static:with_static ()
     else
       [ Check_runner.check_workload ~instrs ~train_instrs
-          ~scoreboard:with_scoreboard workload ]
+          ~scoreboard:with_scoreboard ~static:with_static workload ]
   in
   List.iter (fun r -> Format.printf "@[<v>%a@]@." Check_runner.pp_report r) reports;
+  (* Under --all the shared figure-grid specs ride along: a daemon-served
+     grid and a locally-run figure must agree on what is well-formed. *)
+  let bad_grids =
+    if all then
+      List.filter_map
+        (fun (spec : Grid.spec) ->
+          match Grid.validate spec with
+          | Ok () -> None
+          | Error msg -> Some (spec.Grid.tag, msg))
+        Grid.catalog
+    else []
+  in
+  List.iter
+    (fun (tag, msg) -> Printf.printf "grid %s: INVALID — %s\n" tag msg)
+    bad_grids;
+  if all then
+    Printf.printf "grids: %d spec(s) validated, %d invalid\n"
+      (List.length Grid.catalog) (List.length bad_grids);
   let failed = List.filter (fun r -> not (Check_runner.ok r)) reports in
-  if failed = [] then
+  if failed = [] && bad_grids = [] then
     Printf.printf "check: %d workload(s) clean\n" (List.length reports)
   else begin
     Printf.printf "check: %d of %d workload(s) FAILED\n" (List.length failed)
@@ -313,7 +339,7 @@ let with_jobs jobs f =
 
 let known_figures =
   [ "table1"; "motivating"; "fig1"; "fig3"; "fig4"; "fig7"; "fig8"; "fig9";
-    "fig10"; "fig11"; "fig12"; "ablations"; "division" ]
+    "fig10"; "fig11"; "fig12"; "static_crit"; "ablations"; "division" ]
 
 let validate_figures figures =
   List.iter
@@ -337,6 +363,7 @@ let run_figure ~sizes = function
   | "fig10" -> ignore (Experiments.fig10 ~sizes ())
   | "fig11" -> ignore (Experiments.fig11 ~sizes ())
   | "fig12" -> ignore (Experiments.fig12 ~sizes ())
+  | "static_crit" -> ignore (Experiments.static_crit ~sizes ())
   | "ablations" -> ignore (Experiments.ablations ~sizes ())
   | "division" -> ignore (Experiments.division ~sizes ())
   | other ->
@@ -674,13 +701,15 @@ let check_cmd =
     Cmd.info "check"
       ~doc:
         "Run the static validation battery: program lint, independent slice \
-         and tag-budget verification, and (with $(b,--scoreboard)) the \
-         pipeline-invariant oracle."
+         and tag-budget verification, (with $(b,--static)) the profile-free \
+         criticality predictor scored against the profiled tagger, and (with \
+         $(b,--scoreboard)) the pipeline-invariant oracle.  With $(b,--all) \
+         the shared figure-grid specs are validated too."
   in
   Cmd.v info
     Term.(
       const check $ all_arg $ workload_arg $ check_instrs_arg $ check_train_arg
-      $ scoreboard_arg)
+      $ scoreboard_arg $ static_arg)
 
 let list_cmd =
   let info = Cmd.info "list" ~doc:"List the workload catalog." in

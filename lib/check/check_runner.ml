@@ -11,14 +11,45 @@ type scoreboard_report = {
   stats_match : bool;
 }
 
+type static_report = {
+  candidates : int;
+  comparison : Static_crit.comparison;
+  deterministic : bool;
+}
+
 type report = {
   workload : string;
   lint : Lint.diag list;
+  acknowledged : Lint.diag list;
   roots : int;
   slices : slice_report list;
   tagging : Slice_check.violation list;
   scoreboard : scoreboard_report list;
+  static : static_report option;
 }
+
+(* Findings the analyzer is right about but the kernel sources keep.
+   The catalog's dynamic traces are frozen statistical baselines
+   (test/goldens): deleting gcc's never-executed dispatch fallback or
+   xhpcg's dead row-pointer copy would shift every later pc, perturb
+   branch-predictor and cache indexing, and invalidate the committed
+   snapshots.  Each entry is a confirmed, documented finding pinned by
+   test_check; any finding {e not} listed here still fails the gate. *)
+let expected_findings =
+  [ ("gcc", [ (53, Lint.Dataflow_unreachable) ]);
+    ("xhpcg", [ (72, Lint.Dead_store) ]) ]
+
+let split_expected ~name diags =
+  let expected =
+    Option.value (List.assoc_opt name expected_findings) ~default:[]
+  in
+  List.partition
+    (fun (d : Lint.diag) -> not (List.mem (d.Lint.pc, d.Lint.rule) expected))
+    diags
+
+let lint_workload ?(instrs = 60_000) name =
+  let wl = Catalog.make ~input:Workload.Ref ~instrs name in
+  fst (split_expected ~name (Lint.check_workload wl))
 
 let scoreboard_compare ~tagger etrace =
   let pair (policy_name, policy, criticality) =
@@ -34,9 +65,9 @@ let scoreboard_compare ~tagger etrace =
       ("crisp", Scheduler.Crisp, Cpu_core.Static_tags (Tagger.is_critical tagger)) ]
 
 let check_workload ?(instrs = 60_000) ?(train_instrs = 40_000) ?(scoreboard = false)
-    name =
+    ?(static = false) name =
   let ref_wl = Catalog.make ~input:Workload.Ref ~instrs name in
-  let lint = Lint.check_workload ref_wl in
+  let lint, acknowledged = split_expected ~name (Lint.check_workload ref_wl) in
   let train_wl = Catalog.make ~input:Workload.Train ~instrs:train_instrs name in
   let trace = Workload.trace train_wl in
   let deps = Deps.compute trace in
@@ -69,16 +100,29 @@ let check_workload ?(instrs = 60_000) ?(train_instrs = 40_000) ?(scoreboard = fa
   let scoreboard =
     if scoreboard then scoreboard_compare ~tagger (Workload.trace ref_wl) else []
   in
-  { workload = name; lint; roots = List.length roots; slices; tagging; scoreboard }
+  let static =
+    if static then begin
+      let st = Static_crit.analyze ref_wl in
+      let again = Static_crit.analyze ref_wl in
+      Some
+        { candidates = List.length st.Static_crit.candidates;
+          comparison = Static_crit.compare_tagging st tagger;
+          deterministic = st = again }
+    end
+    else None
+  in
+  { workload = name; lint; acknowledged; roots = List.length roots; slices;
+    tagging; scoreboard; static }
 
-let check_all ?instrs ?train_instrs ?scoreboard () =
-  List.map (check_workload ?instrs ?train_instrs ?scoreboard) Catalog.names
+let check_all ?instrs ?train_instrs ?scoreboard ?static () =
+  List.map (check_workload ?instrs ?train_instrs ?scoreboard ?static) Catalog.names
 
 let ok r =
   r.lint = []
   && List.for_all (fun s -> s.violations = []) r.slices
   && r.tagging = []
   && List.for_all (fun s -> s.violation = None && s.stats_match) r.scoreboard
+  && match r.static with Some s -> s.deterministic | None -> true
 
 let pp_report fmt r =
   let slice_violations =
@@ -88,6 +132,8 @@ let pp_report fmt r =
     r.workload
     (if ok r then "ok  " else "FAIL")
     (List.length r.lint) r.roots slice_violations (List.length r.tagging);
+  if r.acknowledged <> [] then
+    Format.fprintf fmt "  acknowledged:%d" (List.length r.acknowledged);
   List.iter
     (fun sb ->
       Format.fprintf fmt "  scoreboard[%s]:%s" sb.policy_name
@@ -95,6 +141,12 @@ let pp_report fmt r =
         | Some _ -> "violation"
         | None -> if sb.stats_match then "ok" else "stats-diverge"))
     r.scoreboard;
+  (match r.static with
+  | None -> ()
+  | Some s ->
+    Format.fprintf fmt "@,  static: %d candidate(s)%s — %a" s.candidates
+      (if s.deterministic then "" else " NON-DETERMINISTIC")
+      Static_crit.pp_comparison s.comparison);
   List.iter (fun d -> Format.fprintf fmt "@,  %a" Lint.pp_diag d) r.lint;
   List.iter
     (fun s ->

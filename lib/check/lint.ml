@@ -10,8 +10,12 @@ type rule =
   | Unreachable
   | Negative_address
   | Oob_address
+  | Oob_range
   | Degenerate_branch
   | Bad_register
+  | Dead_store
+  | Dataflow_unreachable
+  | Invariant_address
 
 type diag = {
   pc : int;
@@ -28,8 +32,12 @@ let rule_name = function
   | Unreachable -> "unreachable-code"
   | Negative_address -> "negative-address"
   | Oob_address -> "out-of-bounds-address"
+  | Oob_range -> "out-of-bounds-range"
   | Degenerate_branch -> "degenerate-branch"
   | Bad_register -> "bad-register"
+  | Dead_store -> "dead-store"
+  | Dataflow_unreachable -> "dataflow-unreachable"
+  | Invariant_address -> "loop-invariant-address"
 
 let pp_diag fmt d =
   Format.fprintf fmt "%s at pc %d [%s]: %s"
@@ -65,189 +73,18 @@ let errors ds = List.filter (fun d -> d.severity = Error) ds
 let warnings ds = List.filter (fun d -> d.severity = Warning) ds
 
 (* ------------------------------------------------------------------ *)
-(* CFG                                                                 *)
+(* The lint driver                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Static successors inside [0, n); [n] (falling off or branching to the
-   end) terminates execution and is not a node.  A call is assumed to
-   return, so its fall-through is a successor; a return's successors are
-   the fall-throughs of the calls that reach it. *)
-let successors code pc =
-  let n = Array.length code in
-  let d : Program.decoded = code.(pc) in
-  let next = pc + 1 in
-  let inside p = p >= 0 && p < n in
-  let targets =
-    match d.Program.op with
-    | Isa.Halt | Isa.Ret -> []
-    | Isa.Jump | Isa.Call -> [ d.Program.target ]
-    | Isa.Branch _ -> [ next; d.Program.target ]
-    | _ -> [ next ]
-  in
-  let targets = match d.Program.op with Isa.Call -> next :: targets | _ -> targets in
-  List.filter inside targets
-
-let reachable_set (code : Program.decoded array) =
-  let n = Array.length code in
-  let seen = Array.make n false in
-  let rec visit pc =
-    if not seen.(pc) then begin
-      seen.(pc) <- true;
-      List.iter visit (successors code pc)
-    end
-  in
-  if n > 0 then visit 0;
-  seen
-
-(* ------------------------------------------------------------------ *)
-(* Definite assignment (may-be-undefined uses)                         *)
-(* ------------------------------------------------------------------ *)
+module DefiniteSolver = Dataflow.Solver (Dataflow.Definite)
+module RangesSolver = Dataflow.Solver (Dataflow.Ranges)
+module LiveSolver = Dataflow.Solver (Dataflow.Live)
+module ReachSolver = Dataflow.Solver (Dataflow.Reaching)
 
 let used_regs (d : Program.decoded) =
   let acc = if d.Program.src1 >= 0 then [ d.Program.src1 ] else [] in
   if d.Program.src2 >= 0 && d.Program.src2 <> d.Program.src1 then d.Program.src2 :: acc
   else acc
-
-(* Forward dataflow; IN(pc) = registers defined on every path from entry.
-   Meet is intersection, so the fixpoint starts from all-defined and
-   shrinks. *)
-let definite_assignment code ~reachable ~initialised =
-  let n = Array.length code in
-  let nr = Isa.num_regs in
-  let inn = Array.init n (fun _ -> Array.make nr true) in
-  if n > 0 then begin
-    let entry = Array.make nr false in
-    List.iter (fun r -> entry.(r) <- true) initialised;
-    inn.(0) <- entry;
-    let queue = Queue.create () in
-    Queue.add 0 queue;
-    let on_queue = Array.make n false in
-    on_queue.(0) <- true;
-    while not (Queue.is_empty queue) do
-      let pc = Queue.pop queue in
-      on_queue.(pc) <- false;
-      let out = Array.copy inn.(pc) in
-      let dst = code.(pc).Program.dst in
-      if dst >= 0 && dst < nr then out.(dst) <- true;
-      List.iter
-        (fun succ ->
-          let changed = ref false in
-          let target = inn.(succ) in
-          for r = 0 to nr - 1 do
-            if target.(r) && not out.(r) then begin
-              target.(r) <- false;
-              changed := true
-            end
-          done;
-          if !changed && not on_queue.(succ) then begin
-            on_queue.(succ) <- true;
-            Queue.add succ queue
-          end)
-        (successors code pc)
-    done
-  end;
-  ignore reachable;
-  inn
-
-(* ------------------------------------------------------------------ *)
-(* Constant propagation (for the footprint rules)                      *)
-(* ------------------------------------------------------------------ *)
-
-type value =
-  | Const of int
-  | Unknown
-
-let meet a b =
-  match (a, b) with
-  | Const x, Const y when x = y -> a
-  | _ -> Unknown
-
-(* Mirror of Executor's ALU semantics so statically-known addresses are
-   exactly the ones the executor would compute. *)
-let alu_eval kind a b =
-  match kind with
-  | Isa.Add -> a + b
-  | Isa.Sub -> a - b
-  | Isa.And -> a land b
-  | Isa.Or -> a lor b
-  | Isa.Xor -> a lxor b
-  | Isa.Shl -> a lsl (b land 63)
-  | Isa.Shr -> a lsr (b land 63)
-  | Isa.Cmp -> compare a b
-  | Isa.Mov -> a
-
-let transfer (d : Program.decoded) (env : value array) =
-  let out = Array.copy env in
-  let v r = if r >= 0 && r < Isa.num_regs then env.(r) else Unknown in
-  let operand2 = if d.Program.src2 >= 0 then v d.Program.src2 else Const d.Program.imm in
-  let binop f =
-    match (v d.Program.src1, operand2) with
-    | Const a, Const b -> Const (f a b)
-    | _ -> Unknown
-  in
-  let result =
-    match d.Program.op with
-    | Isa.Li -> Some (Const d.Program.imm)
-    | Isa.Alu kind -> Some (binop (alu_eval kind))
-    | Isa.Mul | Isa.Fp_mul -> Some (binop ( * ))
-    | Isa.Div | Isa.Fp_div -> Some (binop (fun a b -> if b = 0 then 0 else a / b))
-    | Isa.Fp_add -> Some (binop ( + ))
-    | Isa.Load -> Some Unknown
-    | _ -> None
-  in
-  (match result with
-  | Some value when d.Program.dst >= 0 && d.Program.dst < Isa.num_regs ->
-    out.(d.Program.dst) <- value
-  | _ -> ());
-  out
-
-let constant_propagation code ~entry_env =
-  let n = Array.length code in
-  let inn : value array option array = Array.make n None in
-  if n > 0 then begin
-    inn.(0) <- Some entry_env;
-    let queue = Queue.create () in
-    Queue.add 0 queue;
-    let on_queue = Array.make n false in
-    on_queue.(0) <- true;
-    while not (Queue.is_empty queue) do
-      let pc = Queue.pop queue in
-      on_queue.(pc) <- false;
-      match inn.(pc) with
-      | None -> ()
-      | Some env ->
-        let out = transfer code.(pc) env in
-        List.iter
-          (fun succ ->
-            let merged, changed =
-              match inn.(succ) with
-              | None -> (Array.copy out, true)
-              | Some cur ->
-                let changed = ref false in
-                for r = 0 to Isa.num_regs - 1 do
-                  let m = meet cur.(r) out.(r) in
-                  if m <> cur.(r) then begin
-                    cur.(r) <- m;
-                    changed := true
-                  end
-                done;
-                (cur, !changed)
-            in
-            if changed then begin
-              inn.(succ) <- Some merged;
-              if not on_queue.(succ) then begin
-                on_queue.(succ) <- true;
-                Queue.add succ queue
-              end
-            end)
-          (successors code pc)
-    done
-  end;
-  inn
-
-(* ------------------------------------------------------------------ *)
-(* The lint driver                                                     *)
-(* ------------------------------------------------------------------ *)
 
 let severity_rank = function Error -> 0 | Warning -> 1
 
@@ -261,7 +98,13 @@ let sort_diags ds =
         if c <> 0 then c else compare (rule_name a.rule) (rule_name b.rule))
     ds
 
-let check ?(initialised = []) ?bounds ?entry_values (prog : Program.t) =
+let mem_base (d : Program.decoded) =
+  match d.Program.op with
+  | Isa.Load | Isa.Prefetch -> Some d.Program.src1
+  | Isa.Store -> Some d.Program.src2
+  | _ -> None
+
+let check ?(initialised = []) ?bounds ?entry (prog : Program.t) =
   let code = prog.Program.code in
   let n = Array.length code in
   let diags = ref [] in
@@ -294,102 +137,202 @@ let check ?(initialised = []) ?bounds ?entry_values (prog : Program.t) =
             "conditional branch to its own fall-through (pc %d)" t
       | _ -> ())
     code;
-  let reachable = reachable_set code in
-  Array.iteri
-    (fun pc r ->
-      if not r then
-        emit pc Warning Unreachable "unreachable from the entry point")
-    reachable;
-  (* Register dataflow on the reachable portion only: diagnostics about
-     dead code would be double reports. *)
-  let defined = definite_assignment code ~reachable ~initialised in
-  let init_set = Array.make Isa.num_regs false in
-  List.iter (fun r -> if r >= 0 && r < Isa.num_regs then init_set.(r) <- true)
-    initialised;
-  let producers = Array.make Isa.num_regs [] in
-  Array.iteri
-    (fun pc (d : Program.decoded) ->
-      let dst = d.Program.dst in
-      if reachable.(pc) && dst >= 0 && dst < Isa.num_regs then
-        producers.(dst) <- pc :: producers.(dst))
-    code;
-  Array.iteri
-    (fun pc (d : Program.decoded) ->
-      if reachable.(pc) then
-        List.iter
-          (fun r ->
-            if r < Isa.num_regs && not defined.(pc).(r) then
-              if
-                (not init_set.(r))
-                && d.Program.dst = r
-                && List.for_all (fun p -> p = pc) producers.(r)
-              then
-                emit pc Error Self_dependency
-                  "r%d is read only by the single instruction that defines it and \
-                   has no declared initial value — a self-carried register must \
-                   start from an explicit reg_init entry"
-                  r
-              else
-                emit pc Warning Undefined_use
-                  "r%d may be read before any definition (relies on the implicit \
-                   zero; declare it in reg_init)"
-                  r)
-          (used_regs d))
-    code;
-  (* Footprint rules on statically-known addresses. *)
-  let entry_env =
-    match entry_values with
-    | Some env -> env
-    | None ->
-      (* Registers start at zero; declared live-ins have unknown values. *)
-      Array.init Isa.num_regs (fun r -> if init_set.(r) then Unknown else Const 0)
-  in
-  let envs = constant_propagation code ~entry_env in
-  Array.iteri
-    (fun pc (d : Program.decoded) ->
-      match envs.(pc) with
-      | None -> ()
-      | Some env ->
-        let base_reg =
-          match d.Program.op with
-          | Isa.Load | Isa.Prefetch -> Some d.Program.src1
-          | Isa.Store -> Some d.Program.src2
-          | _ -> None
-        in
-        (match base_reg with
-        | Some r when r >= 0 && r < Isa.num_regs -> begin
-          match env.(r) with
-          | Const base ->
-            let addr = base + d.Program.imm in
-            if addr < 0 then
-              emit pc Error Negative_address "effective address %d is negative" addr
+  (* Decoded register fields outside the file would index out of bounds
+     in the dataflow domains; stop at the structural errors. *)
+  if List.exists (fun d -> d.rule = Bad_register) !diags then sort_diags !diags
+  else begin
+    let cfg = Dataflow.Cfg.build code in
+    let reachable = cfg.Dataflow.Cfg.reachable in
+    Array.iteri
+      (fun pc r ->
+        if not r then emit pc Warning Unreachable "unreachable from the entry point")
+      reachable;
+    (* Register dataflow on the reachable portion only: diagnostics about
+       dead code would be double reports. *)
+    let defined =
+      DefiniteSolver.solve cfg ~init:(Dataflow.Definite.init ())
+        ~entry:(Dataflow.Definite.entry_of initialised)
+    in
+    let init_set = Array.make Isa.num_regs false in
+    List.iter (fun r -> if r >= 0 && r < Isa.num_regs then init_set.(r) <- true)
+      initialised;
+    let producers = Array.make Isa.num_regs [] in
+    Array.iteri
+      (fun pc (d : Program.decoded) ->
+        let dst = d.Program.dst in
+        if reachable.(pc) && dst >= 0 && dst < Isa.num_regs then
+          producers.(dst) <- pc :: producers.(dst))
+      code;
+    Array.iteri
+      (fun pc (d : Program.decoded) ->
+        if reachable.(pc) then
+          List.iter
+            (fun r ->
+              if r < Isa.num_regs && not defined.Dataflow.before.(pc).(r) then
+                if
+                  (not init_set.(r))
+                  && d.Program.dst = r
+                  && List.for_all (fun p -> p = pc) producers.(r)
+                then
+                  emit pc Error Self_dependency
+                    "r%d is read only by the single instruction that defines it and \
+                     has no declared initial value — a self-carried register must \
+                     start from an explicit reg_init entry"
+                    r
+                else
+                  emit pc Warning Undefined_use
+                    "r%d may be read before any definition (relies on the implicit \
+                     zero; declare it in reg_init)"
+                    r)
+            (used_regs d))
+      code;
+    (* Value-range analysis: footprint rules and feasibility. *)
+    let entry =
+      match entry with
+      | Some e -> e
+      | None ->
+        (* Registers start at zero; declared live-ins have unknown values. *)
+        Dataflow.Ranges.Env
+          (Array.init Isa.num_regs (fun r ->
+               if init_set.(r) then Dataflow.Interval.top
+               else Dataflow.Interval.const 0))
+    in
+    let ranges = RangesSolver.solve cfg ~init:Dataflow.Ranges.Unreached ~entry in
+    Array.iteri
+      (fun pc (d : Program.decoded) ->
+        if reachable.(pc) then begin
+          (match ranges.Dataflow.before.(pc) with
+          | Dataflow.Ranges.Unreached ->
+            emit pc Warning Dataflow_unreachable
+              "reachable in the CFG but on no feasible path (every incoming \
+               branch edge is statically contradicted)"
+          | Dataflow.Ranges.Env _ -> ());
+          match Dataflow.Ranges.addr_interval ranges.Dataflow.before.(pc) d with
+          | None -> ()
+          | Some i ->
+            let const_addr = Dataflow.Interval.is_const i in
+            if i.Dataflow.Interval.hi < 0 then
+              emit pc Error Negative_address "effective address %s is negative"
+                (match const_addr with
+                | Some a -> string_of_int a
+                | None -> Format.asprintf "%a" Dataflow.Interval.pp i)
             else begin
               (* Only reads are checked against the image: a load (or
                  prefetch) of never-written memory silently yields zero,
                  which is almost certainly a mis-computed address, whereas a
                  store past the image is how output buffers are born. *)
-              match bounds, d.Program.op with
-              | Some { lo; hi }, (Isa.Load | Isa.Prefetch)
-                when addr < lo - slack_bytes || addr >= hi + slack_bytes ->
-                emit pc Warning Oob_address
-                  "constant load address 0x%x outside the initialised image \
-                   [0x%x, 0x%x)"
-                  addr lo hi
+              match (bounds, d.Program.op) with
+              | Some { lo; hi }, (Isa.Load | Isa.Prefetch) -> (
+                match const_addr with
+                | Some addr ->
+                  if addr < lo - slack_bytes || addr >= hi + slack_bytes then
+                    emit pc Warning Oob_address
+                      "constant load address 0x%x outside the initialised image \
+                       [0x%x, 0x%x)"
+                      addr lo hi
+                | None ->
+                  if
+                    Dataflow.Interval.bounded i
+                    && (i.Dataflow.Interval.lo >= hi + slack_bytes
+                       || i.Dataflow.Interval.hi < lo - slack_bytes)
+                  then
+                    emit pc Warning Oob_range
+                      "load address range %a lies entirely outside the \
+                       initialised image [0x%x, 0x%x)"
+                      Dataflow.Interval.pp i lo hi)
               | _ -> ()
             end
-          | Unknown -> ()
-        end
-        | _ -> ()))
-    code;
-  sort_diags !diags
+        end)
+      code;
+    (* Dead single-cycle register writes.  Loads and long-latency ops
+       (Mul/Div/Fp) model port pressure and wakeup timing even when the
+       value goes unread — the kernels use exactly that pattern for
+       payload bursts — so only Li/Alu results with no live reader are
+       reported. *)
+    let live =
+      LiveSolver.solve ~direction:Dataflow.Backward cfg
+        ~init:(Dataflow.Live.init ()) ~entry:(Dataflow.Live.init ())
+    in
+    Array.iteri
+      (fun pc (d : Program.decoded) ->
+        match d.Program.op with
+        | (Isa.Li | Isa.Alu _)
+          when reachable.(pc) && d.Program.dst >= 0
+               && not live.Dataflow.before.(pc).(d.Program.dst) ->
+          emit pc Warning Dead_store
+            "r%d is overwritten before any instruction reads this value"
+            d.Program.dst
+        | _ -> ())
+      code;
+    (* Loop-invariant address computation: a single-cycle ALU op inside a
+       loop, the only in-loop definition of its destination, whose
+       operands are all defined outside the loop and whose result is
+       consumed as a memory base inside the loop — recomputed every
+       iteration for the same address. *)
+    let reach =
+      ReachSolver.solve cfg ~init:(Dataflow.Reaching.init ())
+        ~entry:(Dataflow.Reaching.entry ())
+    in
+    let loops = Dataflow.Cfg.loops cfg in
+    let flagged = Hashtbl.create 8 in
+    List.iter
+      (fun (header, body) ->
+        Array.iteri
+          (fun pc (d : Program.decoded) ->
+            if
+              body.(pc) && reachable.(pc) && not (Hashtbl.mem flagged pc)
+              && (match d.Program.op with Isa.Alu _ -> true | _ -> false)
+              && d.Program.dst >= 0
+            then begin
+              let invariant_sources =
+                List.for_all
+                  (fun r ->
+                    Dataflow.Reaching.S.for_all
+                      (fun def -> def < 0 || not body.(def))
+                      reach.Dataflow.before.(pc).(r))
+                  (used_regs d)
+              in
+              let sole_in_loop_def =
+                Array.for_all Fun.id
+                  (Array.mapi
+                     (fun pc' (d' : Program.decoded) ->
+                       pc' = pc || (not body.(pc'))
+                       || d'.Program.dst <> d.Program.dst)
+                     code)
+              in
+              let feeds_mem_base =
+                let found = ref false in
+                Array.iteri
+                  (fun pc' (d' : Program.decoded) ->
+                    if body.(pc') then
+                      match mem_base d' with
+                      | Some r
+                        when r = d.Program.dst
+                             && Dataflow.Reaching.S.mem pc
+                                  reach.Dataflow.before.(pc').(r) ->
+                        found := true
+                      | _ -> ())
+                  code;
+                !found
+              in
+              if invariant_sources && sole_in_loop_def && feeds_mem_base then begin
+                Hashtbl.add flagged pc ();
+                emit pc Warning Invariant_address
+                  "address computation into r%d is invariant in the loop headed \
+                   at pc %d — hoist it out of the loop"
+                  d.Program.dst header
+              end
+            end)
+          code)
+      loops;
+    sort_diags !diags
+  end
 
 let check_program ?initialised ?bounds prog = check ?initialised ?bounds prog
 
 let check_workload (w : Workload.t) =
   let initialised = List.map fst w.Workload.reg_init in
-  let entry_env = Array.make Isa.num_regs (Const 0) in
-  List.iter
-    (fun (r, v) -> if r >= 0 && r < Isa.num_regs then entry_env.(r) <- Const v)
-    w.Workload.reg_init;
   let bounds = bounds_of_image w.Workload.mem_init in
-  check ~initialised ?bounds ~entry_values:entry_env w.Workload.program
+  check ~initialised ?bounds
+    ~entry:(Dataflow.Ranges.entry_of w.Workload.reg_init)
+    w.Workload.program

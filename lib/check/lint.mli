@@ -19,14 +19,28 @@
       a self-carried value with no declared starting point — a counter or
       accumulator silently seeded by the zero register file — and is
       escalated to an error;
-    - {b memory footprint}: a constant-propagation pass evaluates
-      statically-known effective addresses and checks them against the
-      declared initial memory image — negative addresses are errors, and
-      constant {e load} addresses outside the image (plus one cache line of
-      slack) are warnings, since loading never-written memory silently
-      yields zero while storing past the image is how output buffers are
-      born;
-    - {b degenerate code}: conditional branches to their own fall-through.
+    - {b memory footprint}: a value-range analysis ({!Dataflow.Ranges},
+      interval lattice with branch-edge refinement and loop widening)
+      evaluates effective-address intervals and checks them against the
+      declared initial memory image — provably negative addresses are
+      errors; constant {e load} addresses outside the image (plus one
+      cache line of slack), and non-constant address ranges provably
+      disjoint from it, are warnings, since loading never-written memory
+      silently yields zero while storing past the image is how output
+      buffers are born;
+    - {b degenerate code}: conditional branches to their own fall-through;
+    - {b dead stores}: single-cycle register writes ([Li]/[Alu]) whose
+      value no path reads before it is overwritten.  Loads and
+      long-latency arithmetic are exempt: the kernels deliberately use
+      them as timing payloads whose results go unread;
+    - {b dataflow-unreachable code}: pcs reachable in the CFG but on no
+      feasible path, because every incoming branch edge is contradicted
+      by the value ranges;
+    - {b loop-invariant address computation}: an in-loop ALU op, the only
+      in-loop definition of its destination, with all operands defined
+      outside the loop, feeding a memory base inside the loop — the
+      address is recomputed every iteration and should be hoisted in the
+      DSL source.
 
     Diagnostics carry a pc, a rule and a severity; {!check_workload} runs
     the whole battery with the workload's declared [reg_init]/[mem_init]
@@ -43,10 +57,16 @@ type rule =
   | Self_dependency
       (** register whose only producer is the instruction reading it *)
   | Unreachable  (** instruction unreachable from pc 0 *)
-  | Negative_address  (** statically-known effective address below zero *)
+  | Negative_address  (** effective address provably below zero *)
   | Oob_address  (** statically-known load address outside the declared image *)
+  | Oob_range
+      (** bounded load address range provably disjoint from the image *)
   | Degenerate_branch  (** conditional branch to its own fall-through *)
   | Bad_register  (** decoded register field outside the architectural file *)
+  | Dead_store  (** single-cycle register write no path ever reads *)
+  | Dataflow_unreachable  (** CFG-reachable pc on no feasible path *)
+  | Invariant_address
+      (** loop-invariant address computation recomputed every iteration *)
 
 type diag = {
   pc : int;  (** offending program counter; [-1] for program-level issues *)

@@ -323,6 +323,36 @@ let fig12 ?(sizes = default_sizes) () =
     ~header:[ "static"; "dynamic"; "L1I MPKI" ] rows;
   rows
 
+(* The crisp-check v2 comparison: run the profile-free static predictor
+   and the full profiled FDO flow on every workload, and score the
+   overlap.  Counts travel as floats so the rows fit the shared grid
+   plumbing (and the golden vector); they are exact small integers. *)
+let static_crit ?(sizes = default_sizes) () =
+  let degraded = List.init 8 (fun _ -> Float.nan) in
+  let rows =
+    submit_cells ~tag:"static_crit" ~degraded ~names:Catalog.names ~cols:[ () ]
+      ~cell:(fun name () ->
+        let wl = Catalog.make ~input:Workload.Ref ~instrs:sizes.eval_instrs name in
+        let prediction = Static_crit.analyze wl in
+        let tagging = (crisp_artifacts ~sizes ~name).Fdo.tagging in
+        let c = Static_crit.compare_tagging prediction tagging in
+        [ float_of_int c.Static_crit.predicted_pcs;
+          float_of_int c.Static_crit.tagged_pcs;
+          float_of_int c.Static_crit.overlap_pcs;
+          c.Static_crit.precision;
+          c.Static_crit.recall;
+          c.Static_crit.jaccard;
+          float_of_int c.Static_crit.load_roots;
+          float_of_int c.Static_crit.load_roots_hit ])
+    |> List.map (function name, [ v ] -> (name, v) | _ -> assert false)
+  in
+  Report.print_table
+    ~title:"Static criticality predictor vs profiled CRISP tagger"
+    ~header:
+      [ "pred"; "tagged"; "overlap"; "prec"; "recall"; "jacc"; "ld-root"; "hit" ]
+    rows;
+  rows
+
 let ablations ?(sizes = default_sizes) () =
   let subset = [ "namd"; "moses"; "pointer_chase"; "deepsjeng"; "mcf" ] in
   let cfg = Cpu_config.skylake in
@@ -456,5 +486,6 @@ let run_all ?(sizes = default_sizes) () =
   step "fig10" (fun () -> ignore (fig10 ~sizes ()));
   step "fig11" (fun () -> ignore (fig11 ~sizes ()));
   step "fig12" (fun () -> ignore (fig12 ~sizes ()));
+  step "static_crit" (fun () -> ignore (static_crit ~sizes ()));
   step "ablations" (fun () -> ignore (ablations ~sizes ()));
   step "division" (fun () -> ignore (division ~sizes ()))

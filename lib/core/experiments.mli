@@ -104,6 +104,14 @@ val fig12 : ?sizes:sizes -> unit -> (string * float list) list
     observation).  Row values: [static_overhead; dynamic_overhead;
     icache_mpki_delta], all fractions. *)
 
+val static_crit : ?sizes:sizes -> unit -> (string * float list) list
+(** The crisp-check v2 head-to-head: the no-profile {!Static_crit}
+    predictor scored against the profiled CRISP tagger on every catalog
+    workload.  Row values: [predicted_pcs; tagged_pcs; overlap_pcs;
+    precision; recall; jaccard; load_roots; load_roots_hit] (counts as
+    floats; see {!Static_crit.comparison}).  Tracked as its own golden
+    ([test/goldens/static_crit.json]). *)
+
 val ablations : ?sizes:sizes -> unit -> (string * float list) list
 (** Design-choice ablations on a representative subset: full CRISP vs no
     critical-path filter, no memory dependencies, no ratio guardrail, and a

@@ -95,14 +95,63 @@ let write ?cfg ~dir ~sizes name =
   output_string oc json;
   close_out oc
 
+(* ------------------------------------------------------------------ *)
+(* The static-predictor golden: one cross-workload vector scoring the
+   profile-free Static_crit pass against the profiled tagger.  Counts
+   are exact; the derived ratios get the same tiny tolerance as other
+   float keys so a JSON round-trip can never register as drift. *)
+
+let static_name = "static_crit"
+
+let static_vector ?(cfg = Cpu_config.skylake) ~sizes () =
+  let { eval_instrs; train_instrs } = sizes in
+  Obs_golden.normalise
+    (List.concat_map
+       (fun name ->
+         let wl = Catalog.make ~input:Workload.Ref ~instrs:eval_instrs name in
+         let prediction = Static_crit.analyze wl in
+         let outcome =
+           Runner.evaluate ~cfg ~eval_instrs ~train_instrs ~name
+             Runner.crisp_default
+         in
+         let tagging =
+           match outcome.Runner.artifacts with
+           | Some a -> a.Fdo.tagging
+           | None -> assert false
+         in
+         let c = Static_crit.compare_tagging prediction tagging in
+         let k key v = (name ^ "." ^ key, v) in
+         [ k "candidates" (f (List.length prediction.Static_crit.candidates));
+           k "predicted" (f c.Static_crit.predicted_pcs);
+           k "tagged" (f c.Static_crit.tagged_pcs);
+           k "overlap" (f c.Static_crit.overlap_pcs);
+           k "precision" c.Static_crit.precision;
+           k "recall" c.Static_crit.recall;
+           k "jaccard" c.Static_crit.jaccard;
+           k "load_roots" (f c.Static_crit.load_roots);
+           k "load_roots_hit" (f c.Static_crit.load_roots_hit) ])
+       Catalog.names)
+
+let static_rtol key =
+  let suffixed s = Filename.check_suffix key s in
+  if suffixed ".precision" || suffixed ".recall" || suffixed ".jaccard" then 1e-6
+  else 0.
+
+let static_meta ~sizes =
+  [ ("schema", "crisp-static-crit-1");
+    ("eval_instrs", string_of_int sizes.eval_instrs);
+    ("train_instrs", string_of_int sizes.train_instrs) ]
+
 let read_file file =
   let ic = open_in_bin file in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let check ?cfg ~dir ~sizes name =
-  let file = path ~dir name in
+(* Shared diff driver: [fresh] is only forced once the golden parses
+   and its metadata matches, so a stale file reports the cheap problem
+   without paying for a simulation. *)
+let check_file ~file ~meta ~rtol_for fresh =
   if not (Sys.file_exists file) then
     Error
       (Printf.sprintf
@@ -122,15 +171,13 @@ let check ?cfg ~dir ~sizes name =
             | Some v' ->
               Some (Printf.sprintf "meta %s: golden has %s, this run uses %s" k v' v)
             | None -> Some (Printf.sprintf "meta %s missing from golden" k))
-          (meta ~sizes name)
+          meta
       in
       if meta_problems <> [] then
         Error
           (Printf.sprintf "%s:\n  %s" file (String.concat "\n  " meta_problems))
       else
-        match
-          Obs_golden.diff ~rtol_for:default_rtol ~golden (vector ?cfg ~sizes name)
-        with
+        match Obs_golden.diff ~rtol_for ~golden (fresh ()) with
         | [] -> Ok ()
         | mismatches ->
           let buf = Buffer.create 256 in
@@ -141,3 +188,20 @@ let check ?cfg ~dir ~sizes name =
             mismatches;
           Format.pp_print_flush fmt ();
           Error (Buffer.contents buf))
+
+let check ?cfg ~dir ~sizes name =
+  check_file ~file:(path ~dir name) ~meta:(meta ~sizes name)
+    ~rtol_for:default_rtol (fun () -> vector ?cfg ~sizes name)
+
+let static_write ?cfg ~dir ~sizes () =
+  let json =
+    Obs_golden.to_json_string ~meta:(static_meta ~sizes)
+      (static_vector ?cfg ~sizes ())
+  in
+  let oc = open_out_bin (path ~dir static_name) in
+  output_string oc json;
+  close_out oc
+
+let static_check ?cfg ~dir ~sizes () =
+  check_file ~file:(path ~dir static_name) ~meta:(static_meta ~sizes)
+    ~rtol_for:static_rtol (fun () -> static_vector ?cfg ~sizes ())

@@ -43,3 +43,22 @@ val check :
     carries a human-readable report: a missing or unreadable golden file,
     metadata that does not match the requested sizes, or the list of
     drifted/missing/extra keys. *)
+
+(** {2 Static-predictor golden}
+
+    One cross-workload vector — [dir/static_crit.json] — scoring the
+    profile-free {!Static_crit} predictor against the profiled tagger on
+    every catalog workload: per workload the candidate count, the
+    {!Static_crit.comparison} counts (exact) and its precision / recall /
+    Jaccard ratios (toleranced like other derived floats). *)
+
+val static_name : string
+(** ["static_crit"]: the golden's basename, deliberately outside the
+    workload namespace. *)
+
+val static_vector : ?cfg:Cpu_config.t -> sizes:sizes -> unit -> Obs_golden.vector
+
+val static_write : ?cfg:Cpu_config.t -> dir:string -> sizes:sizes -> unit -> unit
+
+val static_check :
+  ?cfg:Cpu_config.t -> dir:string -> sizes:sizes -> unit -> (unit, string) result

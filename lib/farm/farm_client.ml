@@ -45,6 +45,7 @@ let describe = function
   | P.Shutting_down -> "shutting-down"
   | P.Cell _ -> "cell"
   | P.Summary _ -> "summary"
+  | P.Invalid_request { reason; _ } -> Printf.sprintf "invalid-request (%s)" reason
   | P.Error_reply msg -> Printf.sprintf "error (%s)" msg
 
 let ping t =
@@ -115,6 +116,12 @@ let run_grid t ?id ~(spec : Grid.spec) ~eval_instrs ~train_instrs () =
             row)
         filled;
       s
+    | P.Invalid_request { req_id; reason; diags } ->
+      if req_id <> id then
+        fail "rejection echoes request %S, expected %S" req_id id;
+      fail "daemon rejected the request: %s%s" reason
+        (if diags = [] then ""
+         else "\n  " ^ String.concat "\n  " diags)
     | P.Error_reply msg -> fail "daemon: %s" msg
     | r -> fail "expected cell or summary, got %s" (describe r)
   in

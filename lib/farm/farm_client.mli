@@ -36,5 +36,8 @@ val run_grid :
   unit -> grid_result
 (** Submit the grid and block until its summary frame arrives.
     @raise Farm_error if the stream ends early, a frame is out of
-    range, any cell never arrives, or the summary echoes a different
-    request id. *)
+    range, any cell never arrives, the summary echoes a different
+    request id, or the daemon rejects the request at admission
+    (budget sanity, grid-spec shape, or the crisp-check lint) — the
+    rejection's reason and per-finding diagnostics are folded into
+    the exception message. *)

@@ -54,6 +54,11 @@ type response =
   | Shutting_down
   | Cell of cell
   | Summary of summary
+  | Invalid_request of {
+      req_id : string;
+      reason : string;
+      diags : string list;
+    }
   | Error_reply of string
 
 let source_to_string = function
@@ -158,6 +163,11 @@ let encode_response resp =
         ("journal_hits", J.num_int s.journal_hits);
         ("degraded", J.num_int s.degraded);
         ("stats", json_of_farm_stats s.farm) ]
+    | Invalid_request { req_id; reason; diags } ->
+      [ ("resp", J.Str "invalid");
+        ("id", J.Str req_id);
+        ("reason", J.Str reason);
+        ("diags", J.Arr (List.map (fun d -> J.Str d) diags)) ]
     | Error_reply msg -> [ ("resp", J.Str "error"); ("message", J.Str msg) ]
   in
   J.to_string (J.Obj obj)
@@ -294,5 +304,11 @@ let decode_response payload =
             journal_hits = int ~what:"journal_hits" (field "journal_hits" j);
             degraded = int ~what:"degraded" (field "degraded" j);
             farm = farm_stats_of_json (field "stats" j) }
+      | "invalid" ->
+        Invalid_request
+          { req_id = str ~what:"id" (field "id" j);
+            reason = str ~what:"reason" (field "reason" j);
+            diags =
+              List.map (str ~what:"diags[]") (arr ~what:"diags" (field "diags" j)) }
       | "error" -> Error_reply (str ~what:"message" (field "message" j))
       | other -> bad "unknown response kind %S" other)

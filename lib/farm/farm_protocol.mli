@@ -3,7 +3,8 @@
     One frame ({!Farm_frame}) carries one JSON-encoded message.  A client
     connection is synchronous: it sends one {!request} and reads
     responses until the terminating frame for that request ([Pong],
-    [Stats_reply], [Shutting_down], [Summary] or [Error_reply]); a
+    [Stats_reply], [Shutting_down], [Summary], [Invalid_request] or
+    [Error_reply]); a
     [Run_grid] request streams one [Cell] frame per grid cell in
     row-major order — flushed as rows settle, while later cells are
     still simulating — before its [Summary].
@@ -74,6 +75,15 @@ type response =
   | Shutting_down
   | Cell of cell
   | Summary of summary
+  | Invalid_request of {
+      req_id : string;  (** echo of {!grid_req.id} *)
+      reason : string;  (** one-line category, e.g. lint failure *)
+      diags : string list;  (** rendered per-finding detail, possibly empty *)
+    }
+      (** Structured rejection of a {!Run_grid} request that failed the
+          daemon's admission checks (budget sanity, {!Grid.validate},
+          per-workload crisp-check lint) {e before} any cell was
+          scheduled.  Terminates the request like [Summary] does. *)
   | Error_reply of string
 
 val source_to_string : source -> string

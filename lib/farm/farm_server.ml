@@ -16,6 +16,11 @@ type t = {
   (* Journal's file appends are serialised process-wide, but its
      in-memory table is not; client threads share these journals. *)
   journal_mutex : Mutex.t;
+  (* Admission-lint verdicts per workload name.  Catalog programs are
+     immutable for the life of the daemon, so a verdict never expires;
+     the mutex covers concurrent client threads. *)
+  lint_cache : (string, string list) Hashtbl.t;
+  lint_mutex : Mutex.t;
   requests_served : int Atomic.t;
   stop_flag : bool Atomic.t;
   mutable listen_fd : Unix.file_descr option;
@@ -54,6 +59,8 @@ let create cfg =
     cells_journal;
     server_journal;
     journal_mutex = Mutex.create ();
+    lint_cache = Hashtbl.create 32;
+    lint_mutex = Mutex.create ();
     requests_served = Atomic.make served;
     stop_flag = Atomic.make false;
     listen_fd = None }
@@ -171,11 +178,68 @@ let row_order names =
   in
   List.map fst (heavy @ light)
 
+(* ----- request admission ----- *)
+
+(* Enough for any committed figure at golden or paper sizes, small
+   enough that a corrupt budget cannot wedge the pool for hours. *)
+let max_cell_instrs = 10_000_000
+
+(* Rendered unexpected-lint findings for one catalog workload, cached
+   for the daemon's lifetime (the catalog programs cannot change under
+   a running daemon).  The lint itself runs outside the mutex would be
+   nicer, but it is a few milliseconds once per workload ever. *)
+let lint_findings t name =
+  Mutex.lock t.lint_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lint_mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.lint_cache name with
+      | Some diags -> diags
+      | None ->
+        let diags =
+          List.map
+            (fun d -> Format.asprintf "%s: %a" name Lint.pp_diag d)
+            (Check_runner.lint_workload name)
+        in
+        Hashtbl.replace t.lint_cache name diags;
+        diags)
+
+(* Validate a grid request before any cell is scheduled: budget sanity,
+   grid-spec shape, then the crisp-check admission lint over every
+   requested workload.  [Error (reason, diags)] becomes a structured
+   [Invalid_request] frame. *)
+let admit t (g : P.grid_req) =
+  let bad_budget what v =
+    Printf.sprintf "%s must be within [1, %d], got %d" what max_cell_instrs v
+  in
+  if g.eval_instrs < 1 || g.eval_instrs > max_cell_instrs then
+    Error (bad_budget "eval_instrs" g.eval_instrs, [])
+  else if g.train_instrs < 1 || g.train_instrs > max_cell_instrs then
+    Error (bad_budget "train_instrs" g.train_instrs, [])
+  else
+    match Grid.validate (spec_of_req g) with
+    | Error msg -> Error ("malformed grid spec: " ^ msg, [])
+    | Ok () -> (
+      (* validate already pinned every name to the catalog *)
+      let failing =
+        List.filter_map
+          (fun name ->
+            match lint_findings t name with [] -> None | ds -> Some (name, ds))
+          (List.sort_uniq compare g.names)
+      in
+      match failing with
+      | [] -> Ok ()
+      | _ ->
+        Error
+          ( Printf.sprintf "%d workload(s) fail the crisp-check lint"
+              (List.length failing),
+            List.concat_map snd failing ))
+
 let serve_grid t ~send (g : P.grid_req) =
-  match Grid.validate (spec_of_req g) with
-  | Error msg ->
-    log t "rejecting grid %s (%s): %s" g.tag g.id msg;
-    send (P.Error_reply (Printf.sprintf "invalid grid request %s: %s" g.tag msg))
+  match admit t g with
+  | Error (reason, diags) ->
+    log t "rejecting grid %s (%s): %s" g.tag g.id reason;
+    send (P.Invalid_request { req_id = g.id; reason; diags })
   | Ok () ->
     let names = Array.of_list g.names in
     let columns = Array.of_list g.columns in

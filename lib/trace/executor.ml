@@ -40,7 +40,7 @@ let cond_eval cond a b =
   | Isa.Le -> a <= b
   | Isa.Gt -> a > b
 
-let run ?(reg_init = []) ?mem_init ~max_instrs prog =
+let run ?(reg_init = []) ?mem_init ?on_step ~max_instrs prog =
   let code : Program.decoded array = prog.Program.code in
   let n = Array.length code in
   let regs = Array.make Isa.num_regs 0 in
@@ -57,6 +57,7 @@ let run ?(reg_init = []) ?mem_init ~max_instrs prog =
   let pc = ref 0 in
   let count = ref 0 in
   while (not !halted) && !pc >= 0 && !pc < n && !count < max_instrs do
+    (match on_step with Some f -> f !pc regs | None -> ());
     let d = code.(!pc) in
     let operand2 = if d.src2 >= 0 then regs.(d.src2) else d.imm in
     let addr = ref (-1) in

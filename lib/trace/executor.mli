@@ -30,6 +30,7 @@ type t = {
 val run :
   ?reg_init:(Isa.reg * int) list ->
   ?mem_init:(int, int) Hashtbl.t ->
+  ?on_step:(int -> int array -> unit) ->
   max_instrs:int ->
   Program.t ->
   t
@@ -37,7 +38,12 @@ val run :
     word-addressed by byte address (accesses are assumed aligned) and reads
     of uninitialised locations return 0.  Execution stops at [Halt], when pc
     runs past the end of the program, when [Ret] finds an empty call stack,
-    or after [max_instrs] dynamic micro-ops. *)
+    or after [max_instrs] dynamic micro-ops.
+
+    [on_step pc regs] observes the architectural state {e before} each
+    micro-op executes — the replay oracle the static-analysis soundness
+    properties compare dataflow facts against.  The register array is the
+    live one: callers must not mutate it. *)
 
 val load_count : t -> int
 (** Number of dynamic loads in the trace (excluding software prefetches). *)

@@ -35,14 +35,42 @@ let test_lint_clean () =
     (List.length diags)
 
 let test_lint_catalog_clean () =
+  (* Every catalog workload lints down to exactly its pinned
+     expected-findings ledger entry (empty for most).  Both directions
+     are regressions: a new finding means a kernel or analysis bug, a
+     pinned finding that stops firing means the analysis lost power. *)
   List.iter
     (fun name ->
       let w = Catalog.make ~instrs:1_000 name in
       let diags = Lint.check_workload w in
-      check int
-        (Printf.sprintf "%s lints clean (%s)" name (diag_strings diags))
-        0 (List.length diags))
+      let got = List.map (fun d -> (d.Lint.pc, d.Lint.rule)) diags in
+      let expected =
+        Option.value
+          (List.assoc_opt name Check_runner.expected_findings)
+          ~default:[]
+      in
+      check bool
+        (Printf.sprintf "%s lints to its pinned findings (%s)" name
+           (diag_strings diags))
+        true
+        (List.sort compare got = List.sort compare expected))
     Catalog.names
+
+let test_lint_catalog_ledger_pinned () =
+  (* The ledger itself is part of the contract: exactly these two
+     findings, and the farm admission gate treats them as clean. *)
+  check bool "ledger pins gcc pc 53 dataflow-unreachable and xhpcg pc 72 dead-store"
+    true
+    (Check_runner.expected_findings
+    = [ ("gcc", [ (53, Lint.Dataflow_unreachable) ]);
+        ("xhpcg", [ (72, Lint.Dead_store) ]) ]);
+  List.iter
+    (fun name ->
+      check int
+        (Printf.sprintf "%s passes the farm admission lint" name)
+        0
+        (List.length (Check_runner.lint_workload ~instrs:1_000 name)))
+    [ "gcc"; "xhpcg"; "pointer_chase" ]
 
 (* ---------------- Lint: every rule fires on a broken fixture -------- *)
 
@@ -88,8 +116,10 @@ let test_lint_undefined_use () =
   in
   let diags = Lint.check_program prog in
   check bool "undefined-use fires" true (has_rule Lint.Undefined_use diags);
+  (* r2's unread writes are (correct) dead-store findings, so only the
+     undefined-use rule must fall silent. *)
   check bool "declaring the register silences it" true
-    (Lint.check_program ~initialised:[ 5 ] prog = [])
+    (not (has_rule Lint.Undefined_use (Lint.check_program ~initialised:[ 5 ] prog)))
 
 let test_lint_self_dependency () =
   let open Program in
@@ -146,6 +176,137 @@ let test_lint_degenerate_branch () =
   in
   check bool "degenerate-branch fires" true
     (has_rule Lint.Degenerate_branch (Lint.check_program prog))
+
+(* ---------------- Lint v2: dataflow-powered rules ---------------- *)
+
+let test_lint_dead_store () =
+  let open Program in
+  (* r1's first value is overwritten before any read. *)
+  let dead =
+    assemble ~name:"dead-store"
+      [ Li (1, 5); Li (1, 7); Alu (Isa.Add, 2, 1, Imm 0); Halt ]
+  in
+  let diags = Lint.check_program dead in
+  check bool
+    (Printf.sprintf "dead-store fires (%s)" (diag_strings diags))
+    true (has_rule Lint.Dead_store diags);
+  (* Loads and long-latency ops are exempt even when unread: payload
+     kernels write unread temps on purpose, for port pressure. *)
+  let exempt =
+    assemble ~name:"exempt"
+      [ Li (1, 0x8000); Ld (2, 1, 0); Fmul (3, 4, 4); Halt ]
+  in
+  check bool "unread load/fp results are not dead stores" true
+    (not (has_rule Lint.Dead_store (Lint.check_program ~initialised:[ 4 ] exempt)))
+
+let test_lint_dataflow_unreachable () =
+  let open Program in
+  (* r1 is the constant 0, so the Eq branch always takes and the
+     fall-through instruction is dataflow-dead despite being
+     CFG-reachable. *)
+  let prog =
+    assemble ~name:"df-dead"
+      [ Li (1, 0);
+        Br (Isa.Eq, 1, Imm 0, "end");
+        Alu (Isa.Add, 1, 1, Imm 1);
+        Label "end";
+        Halt ]
+  in
+  let diags = Lint.check_program prog in
+  check bool
+    (Printf.sprintf "dataflow-unreachable fires (%s)" (diag_strings diags))
+    true
+    (List.exists
+       (fun d -> d.Lint.rule = Lint.Dataflow_unreachable && d.Lint.pc = 2)
+       diags)
+
+let test_lint_invariant_address () =
+  let open Program in
+  (* The address r3 = r1 + 64 is recomputed every iteration from the
+     loop-invariant r1 and feeds the load: hoistable. *)
+  let prog =
+    assemble ~name:"inv-addr"
+      [ Label "loop";
+        Alu (Isa.Add, 3, 1, Imm 64);
+        Ld (4, 3, 0);
+        Alu (Isa.Add, 5, 5, Reg 4);
+        Alu (Isa.Add, 2, 2, Imm 1);
+        Br (Isa.Lt, 2, Imm 100, "loop");
+        Halt ]
+  in
+  let diags = Lint.check_program ~initialised:[ 1; 2; 5 ] prog in
+  check bool
+    (Printf.sprintf "loop-invariant-address fires (%s)" (diag_strings diags))
+    true (has_rule Lint.Invariant_address diags);
+  (* Re-basing the address on the loop counter makes it variant. *)
+  let variant =
+    assemble ~name:"var-addr"
+      [ Label "loop";
+        Alu (Isa.Add, 3, 2, Imm 64);
+        Ld (4, 3, 0);
+        Alu (Isa.Add, 5, 5, Reg 4);
+        Alu (Isa.Add, 2, 2, Imm 8);
+        Br (Isa.Lt, 2, Imm 800, "loop");
+        Halt ]
+  in
+  check bool "loop-variant address is fine" true
+    (not
+       (has_rule Lint.Invariant_address
+          (Lint.check_program ~initialised:[ 1; 2; 5 ] variant)))
+
+let test_lint_oob_range () =
+  let open Program in
+  let mem = Hashtbl.create 16 in
+  for i = 0 to 63 do
+    Hashtbl.replace mem (0x8000 + (i * 8)) i
+  done;
+  let bounds = Option.get (Lint.bounds_of_image mem) in
+  (* r1 is unknown at entry but masked into [0, 7] then rebased far past
+     the image: the whole (non-singleton) range misses it. *)
+  let prog =
+    assemble ~name:"oob-range"
+      [ Alu (Isa.And, 1, 1, Imm 7);
+        Alu (Isa.Shl, 1, 1, Imm 3);
+        Alu (Isa.Add, 1, 1, Imm 0x9000);
+        Ld (2, 1, 0);
+        Halt ]
+  in
+  let diags = Lint.check_program ~initialised:[ 1 ] ~bounds prog in
+  check bool
+    (Printf.sprintf "out-of-bounds-range fires (%s)" (diag_strings diags))
+    true (has_rule Lint.Oob_range diags);
+  (* The same shape rebased inside the image is clean. *)
+  let inside =
+    assemble ~name:"in-range"
+      [ Alu (Isa.And, 1, 1, Imm 7);
+        Alu (Isa.Shl, 1, 1, Imm 3);
+        Alu (Isa.Add, 1, 1, Imm 0x8000);
+        Ld (2, 1, 0);
+        Halt ]
+  in
+  check bool "in-image range is clean" true
+    (not (has_rule Lint.Oob_range (Lint.check_program ~initialised:[ 1 ] ~bounds inside)))
+
+let test_lint_bad_register_short_circuits () =
+  (* Register indexes past the file would crash the dataflow domains'
+     unguarded array accesses; the lint must stop at the structural
+     diagnostics instead. *)
+  let prog =
+    raw
+      [ decoded ~dst:99 ~src1:99 ~src2:99 (Isa.Alu Isa.Add);
+        decoded ~dst:1 ~src1:1 ~imm:0 Isa.Load;
+        decoded Isa.Halt ]
+  in
+  let diags = Lint.check_program prog in
+  check bool "bad-register fires" true (has_rule Lint.Bad_register diags);
+  check bool "only structural rules run" true
+    (List.for_all
+       (fun d ->
+         match d.Lint.rule with
+         | Lint.Bad_register | Lint.Bad_target | Lint.Target_exits
+         | Lint.Degenerate_branch -> true
+         | _ -> false)
+       diags)
 
 (* ---------------- Slice verifier ---------------- *)
 
@@ -430,19 +591,27 @@ let test_scheduler_self_check_clean () =
 let test_check_runner_clean () =
   let r =
     Check_runner.check_workload ~instrs:8_000 ~train_instrs:6_000 ~scoreboard:true
-      "pointer_chase"
+      ~static:true "pointer_chase"
   in
   check bool
     (Format.asprintf "runner reports clean (%a)" Check_runner.pp_report r)
     true (Check_runner.ok r);
   check bool "slices were verified" true (r.Check_runner.roots > 0);
-  check int "scoreboard comparisons ran" 2 (List.length r.Check_runner.scoreboard)
+  check int "scoreboard comparisons ran" 2 (List.length r.Check_runner.scoreboard);
+  match r.Check_runner.static with
+  | None -> Alcotest.fail "static report requested but missing"
+  | Some s ->
+    check bool "static predictor deterministic" true s.Check_runner.deterministic;
+    check bool "static predictor found the chase" true (s.Check_runner.candidates > 0)
 
 let () =
   Alcotest.run "check"
     [ ( "lint",
         [ Alcotest.test_case "clean program" `Quick test_lint_clean;
-          Alcotest.test_case "catalog is clean" `Slow test_lint_catalog_clean;
+          Alcotest.test_case "catalog matches the ledger" `Slow
+            test_lint_catalog_clean;
+          Alcotest.test_case "expected-findings ledger pinned" `Quick
+            test_lint_catalog_ledger_pinned;
           Alcotest.test_case "bad target" `Quick test_lint_bad_target;
           Alcotest.test_case "bad register" `Quick test_lint_bad_register;
           Alcotest.test_case "target exits" `Quick test_lint_target_exits;
@@ -450,7 +619,15 @@ let () =
           Alcotest.test_case "self dependency" `Quick test_lint_self_dependency;
           Alcotest.test_case "unreachable" `Quick test_lint_unreachable;
           Alcotest.test_case "addresses" `Quick test_lint_addresses;
-          Alcotest.test_case "degenerate branch" `Quick test_lint_degenerate_branch ] );
+          Alcotest.test_case "degenerate branch" `Quick test_lint_degenerate_branch;
+          Alcotest.test_case "dead store" `Quick test_lint_dead_store;
+          Alcotest.test_case "dataflow unreachable" `Quick
+            test_lint_dataflow_unreachable;
+          Alcotest.test_case "loop-invariant address" `Quick
+            test_lint_invariant_address;
+          Alcotest.test_case "out-of-bounds range" `Quick test_lint_oob_range;
+          Alcotest.test_case "bad register short-circuits dataflow" `Quick
+            test_lint_bad_register_short_circuits ] );
       ( "slice_verifier",
         [ Alcotest.test_case "accepts clean slices" `Quick test_slice_verifier_accepts;
           Alcotest.test_case "rejects corruption" `Quick

@@ -182,6 +182,10 @@ let gen_response =
        return (Farm_protocol.Stats_reply s));
       (let* msg = gen_label in
        return (Farm_protocol.Error_reply msg));
+      (let* req_id = gen_name in
+       let* reason = gen_label in
+       let* diags = list_size (int_range 0 4) gen_label in
+       return (Farm_protocol.Invalid_request { req_id; reason; diags }));
       (let* cell_id = gen_name in
        let* row = small_nat and* col = small_nat in
        let* name = gen_name and* label = gen_label in
@@ -260,6 +264,12 @@ let test_decode_rejects_garbage () =
   rejected "conflicting outcome"
     "{\"resp\":\"cell\",\"cell\":\"k\",\"row\":1,\"col\":0,\"name\":\"n\",\
      \"label\":\"l\",\"source\":\"memo\",\"ok\":1,\"degraded\":\"r\"}"
+    Farm_protocol.decode_response;
+  rejected "rejection without a reason"
+    "{\"resp\":\"invalid\",\"id\":\"r\",\"diags\":[]}"
+    Farm_protocol.decode_response;
+  rejected "rejection with non-string diags"
+    "{\"resp\":\"invalid\",\"id\":\"r\",\"reason\":\"no\",\"diags\":[1]}"
     Farm_protocol.decode_response;
   rejected "bad window arity"
     "{\"req\":\"grid\",\"id\":\"i\",\"tag\":\"t\",\"metric\":\"gain\",\
@@ -439,6 +449,41 @@ let test_daemon_rejects_garbage_loudly () =
   Farm_client.ping c;
   Farm_client.close c
 
+(* A request that fails admission — absurd budget or a malformed grid
+   spec — gets a structured rejection before any cell is scheduled, and
+   the connection survives to serve the next request. *)
+let test_daemon_rejects_inadmissible_grids () =
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+    go 0
+  in
+  with_server ~workers:1 @@ fun ~socket ~srv ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Farm_client.close c) @@ fun () ->
+  let expect_rejection what ~spec ~eval_instrs ~needle =
+    match
+      Farm_client.run_grid c ~spec ~eval_instrs ~train_instrs:small_train ()
+    with
+    | _ -> Alcotest.failf "%s: inadmissible request was admitted" what
+    | exception Farm_client.Farm_error msg ->
+      if not (contains msg needle) then
+        Alcotest.failf "%s: rejection %S does not mention %S" what msg needle
+  in
+  (* Budget sanity: a zero instruction budget can simulate nothing. *)
+  expect_rejection "zero eval budget" ~spec:grid_a ~eval_instrs:0
+    ~needle:"eval_instrs";
+  (* Spec shape: an off-catalog workload fails Grid.validate. *)
+  let bad_spec =
+    { grid_a with Grid.names = [ "pointer_chase"; "no_such_kernel" ] }
+  in
+  expect_rejection "off-catalog workload" ~spec:bad_spec ~eval_instrs:small_eval
+    ~needle:"malformed grid spec";
+  (* Nothing was scheduled, and the same connection still serves. *)
+  check int "no request reached the runner" 0
+    (Farm_server.stats srv).Farm_protocol.requests_served;
+  Farm_client.ping c
+
 let () =
   Alcotest.run "farm"
     [ ( "frame",
@@ -457,4 +502,6 @@ let () =
           Alcotest.test_case "restart serves from journal" `Quick
             test_farm_restart_serves_from_journal;
           Alcotest.test_case "garbage rejected loudly" `Quick
-            test_daemon_rejects_garbage_loudly ] ) ]
+            test_daemon_rejects_garbage_loudly;
+          Alcotest.test_case "inadmissible grids rejected" `Quick
+            test_daemon_rejects_inadmissible_grids ] ) ]

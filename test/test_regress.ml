@@ -22,15 +22,18 @@ let test_workload name () =
   | Error report -> Alcotest.fail report
 
 let test_catalog_covered () =
-  (* Every golden on disk corresponds to a catalog workload and vice versa,
-     so a renamed workload cannot silently drop out of the regression. *)
+  (* Every golden on disk corresponds to a catalog workload and vice versa
+     (plus the one cross-workload static-predictor golden), so a renamed
+     workload cannot silently drop out of the regression. *)
   let on_disk =
     Sys.readdir goldens_dir |> Array.to_list
     |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:".json" f)
     |> List.sort compare
   in
   Alcotest.(check (list string))
-    "goldens match the catalog exactly" (List.sort compare Catalog.names) on_disk
+    "goldens match the catalog exactly"
+    (List.sort compare (Golden_stats.static_name :: Catalog.names))
+    on_disk
 
 let test_detects_drift () =
   (* The harness itself must fail on untoleranced drift: checking a real
@@ -64,6 +67,13 @@ let test_detects_drift () =
     Alcotest.failf "unperturbed golden should match (%d mismatches)"
       (List.length ms)
 
+let test_static_golden () =
+  match
+    Golden_stats.static_check ~dir:goldens_dir ~sizes:Golden_stats.default_sizes ()
+  with
+  | Ok () -> ()
+  | Error report -> Alcotest.fail report
+
 let () =
   Alcotest.run "regress"
     [ ( "harness",
@@ -72,4 +82,5 @@ let () =
       ( "goldens",
         List.map
           (fun name -> Alcotest.test_case name `Slow (test_workload name))
-          Catalog.names ) ]
+          Catalog.names
+        @ [ Alcotest.test_case Golden_stats.static_name `Slow test_static_golden ] ) ]
