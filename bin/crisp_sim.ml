@@ -744,6 +744,27 @@ let client_shutdown_arg =
   let doc = "Ask the daemon to shut down cleanly, then exit." in
   Arg.(value & flag & info [ "shutdown" ] ~doc)
 
+let client_retries_arg =
+  let doc =
+    "Reconnect-and-resume attempts after a transport failure (mid-stream \
+     disconnect, torn frame, daemon shed or drain).  The daemon dedups \
+     cells by canonical key, so a retried grid only computes what the \
+     lost connection interrupted.  0 fails on the first transport error."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let client_connect_timeout_arg =
+  let doc = "Seconds to wait for each connection attempt." in
+  Arg.(value & opt float 10. & info [ "connect-timeout" ] ~docv:"SECS" ~doc)
+
+let client_io_timeout_arg =
+  let doc =
+    "Per-frame transfer deadline in seconds (bounds how long one frame \
+     may take on the wire, never how long the daemon computes).  0 waits \
+     forever."
+  in
+  Arg.(value & opt float 0. & info [ "io-timeout" ] ~docv:"SECS" ~doc)
+
 let print_farm_stats (s : Farm_protocol.farm_stats) =
   Printf.printf
     "memo: %d hits  %d misses  %d dedups  %d evictions  %d entries\n\
@@ -757,7 +778,9 @@ let print_farm_stats (s : Farm_protocol.farm_stats) =
     s.Farm_protocol.pool.Exec.Pool.stolen s.Farm_protocol.journal_cells
     s.Farm_protocol.requests_served
 
-let client grids instrs train_instrs socket do_ping do_stats do_shutdown =
+let client grids instrs train_instrs socket do_ping do_stats do_shutdown
+    retries connect_timeout io_timeout =
+  let io_timeout = if io_timeout <= 0. then None else Some io_timeout in
   let specs =
     match grids with
     | [] -> Grid.catalog
@@ -774,30 +797,41 @@ let client grids instrs train_instrs socket do_ping do_stats do_shutdown =
             exit 2)
         tags
   in
-  let conn =
-    try Farm_client.connect ~socket
-    with Farm_client.Farm_error msg ->
-      Printf.eprintf "crisp_sim: %s\n" msg;
-      exit 2
+  let with_conn f =
+    let conn =
+      try Farm_client.connect ~connect_timeout ?io_timeout ~socket ()
+      with Farm_client.Disconnected msg ->
+        Printf.eprintf "crisp_sim: %s\n" msg;
+        exit 2
+    in
+    Fun.protect ~finally:(fun () -> Farm_client.close conn) (fun () -> f conn)
   in
-  Fun.protect ~finally:(fun () -> Farm_client.close conn) @@ fun () ->
   try
-    if do_ping then begin
-      Farm_client.ping conn;
-      Printf.printf "crisp_simd at %s: alive\n" socket
-    end
-    else if do_stats then print_farm_stats (Farm_client.stats conn)
-    else if do_shutdown then begin
-      Farm_client.shutdown_daemon conn;
-      Printf.printf "crisp_simd at %s: shutting down\n" socket
-    end
+    if do_ping then
+      with_conn (fun conn ->
+          Farm_client.ping conn;
+          Printf.printf "crisp_simd at %s: alive\n" socket)
+    else if do_stats then
+      with_conn (fun conn -> print_farm_stats (Farm_client.stats conn))
+    else if do_shutdown then
+      with_conn (fun conn ->
+          Farm_client.shutdown_daemon conn;
+          Printf.printf "crisp_simd at %s: shutting down\n" socket)
     else begin
+      (* Each grid opens its own connection(s) through the retry loop;
+         the daemon's cross-request dedup keeps repeated attempts free. *)
+      let retry =
+        { Farm_client.default_retry with
+          Farm_client.attempts = retries + 1;
+          connect_timeout;
+          io_timeout }
+      in
       let any_degraded = ref false in
       List.iter
         (fun (spec : Grid.spec) ->
-          let r =
-            Farm_client.run_grid conn ~spec ~eval_instrs:instrs
-              ~train_instrs ()
+          let r, attempts =
+            Farm_client.run_grid_retrying ~socket ~retry ~spec
+              ~eval_instrs:instrs ~train_instrs ()
           in
           Grid.render spec r.Farm_client.rows;
           let s = r.Farm_client.summary in
@@ -807,6 +841,9 @@ let client grids instrs train_instrs socket do_ping do_stats do_shutdown =
             spec.Grid.tag s.Farm_protocol.cells s.Farm_protocol.computed
             s.Farm_protocol.memo_hits s.Farm_protocol.journal_hits
             s.Farm_protocol.degraded;
+          if attempts > 1 then
+            Printf.eprintf "%s: converged after %d attempts\n" spec.Grid.tag
+              attempts;
           List.iter
             (fun (cell, reason) ->
               any_degraded := true;
@@ -815,8 +852,18 @@ let client grids instrs train_instrs socket do_ping do_stats do_shutdown =
         specs;
       if !any_degraded then exit 1
     end
-  with Farm_client.Farm_error msg ->
+  with
+  | Farm_client.Farm_error msg ->
     Printf.eprintf "crisp_sim: farm error: %s\n" msg;
+    exit 2
+  | Farm_client.Disconnected msg ->
+    Printf.eprintf "crisp_sim: connection failed: %s\n" msg;
+    exit 2
+  | Farm_client.Overloaded ms ->
+    Printf.eprintf
+      "crisp_sim: daemon overloaded (retry after %dms); use --retries to \
+       reconnect automatically\n"
+      ms;
     exit 2
 
 let client_cmd =
@@ -832,7 +879,8 @@ let client_cmd =
   Cmd.v info
     Term.(
       const client $ client_grids_arg $ instrs_arg $ train_arg $ farm_socket_arg
-      $ client_ping_arg $ client_stats_arg $ client_shutdown_arg)
+      $ client_ping_arg $ client_stats_arg $ client_shutdown_arg
+      $ client_retries_arg $ client_connect_timeout_arg $ client_io_timeout_arg)
 
 let () =
   let info =

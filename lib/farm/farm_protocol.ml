@@ -59,6 +59,8 @@ type response =
       reason : string;
       diags : string list;
     }
+  | Overloaded of { retry_after_ms : int }
+  | Draining
   | Error_reply of string
 
 let source_to_string = function
@@ -168,6 +170,9 @@ let encode_response resp =
         ("id", J.Str req_id);
         ("reason", J.Str reason);
         ("diags", J.Arr (List.map (fun d -> J.Str d) diags)) ]
+    | Overloaded { retry_after_ms } ->
+      [ ("resp", J.Str "overloaded"); ("retry_after_ms", J.num_int retry_after_ms) ]
+    | Draining -> [ ("resp", J.Str "draining") ]
     | Error_reply msg -> [ ("resp", J.Str "error"); ("message", J.Str msg) ]
   in
   J.to_string (J.Obj obj)
@@ -310,5 +315,10 @@ let decode_response payload =
             reason = str ~what:"reason" (field "reason" j);
             diags =
               List.map (str ~what:"diags[]") (arr ~what:"diags" (field "diags" j)) }
+      | "overloaded" ->
+        let ms = int ~what:"retry_after_ms" (field "retry_after_ms" j) in
+        if ms < 0 then bad "field \"retry_after_ms\" must be non-negative";
+        Overloaded { retry_after_ms = ms }
+      | "draining" -> Draining
       | "error" -> Error_reply (str ~what:"message" (field "message" j))
       | other -> bad "unknown response kind %S" other)

@@ -3,8 +3,8 @@
     One frame ({!Farm_frame}) carries one JSON-encoded message.  A client
     connection is synchronous: it sends one {!request} and reads
     responses until the terminating frame for that request ([Pong],
-    [Stats_reply], [Shutting_down], [Summary], [Invalid_request] or
-    [Error_reply]); a
+    [Stats_reply], [Shutting_down], [Summary], [Invalid_request],
+    [Overloaded], [Draining] or [Error_reply]); a
     [Run_grid] request streams one [Cell] frame per grid cell in
     row-major order — flushed as rows settle, while later cells are
     still simulating — before its [Summary].
@@ -84,6 +84,17 @@ type response =
           daemon's admission checks (budget sanity, {!Grid.validate},
           per-workload crisp-check lint) {e before} any cell was
           scheduled.  Terminates the request like [Summary] does. *)
+  | Overloaded of { retry_after_ms : int }
+      (** The daemon shed this connection or request: the connection cap
+          is full, the pool's queue is too deep, or this connection
+          exhausted its request budget.  A {e connection-terminating}
+          frame — the server closes the socket right after sending it.
+          [retry_after_ms] is the server's backoff hint; [0] means
+          "reconnect immediately" (budget recycling, not overload). *)
+  | Draining
+      (** The daemon is draining (SIGTERM / client-requested shutdown):
+          it will finish streaming in-flight grids but accepts no new
+          requests.  Connection-terminating, like [Overloaded]. *)
   | Error_reply of string
 
 val source_to_string : source -> string

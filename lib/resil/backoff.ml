@@ -17,3 +17,7 @@ let delay params ~seed ~ident ~attempt =
 
 let schedule params ~seed ~ident ~attempts =
   List.init attempts (fun attempt -> delay params ~seed ~ident ~attempt)
+
+let sleep params ~seed ~ident ~attempt =
+  let d = delay params ~seed ~ident ~attempt in
+  if d > 0. then Unix.sleepf d

@@ -23,3 +23,7 @@ val delay : params -> seed:int -> ident:string -> attempt:int -> float
 
 val schedule : params -> seed:int -> ident:string -> attempts:int -> float list
 (** The first [attempts] delays, i.e. [delay ~attempt:0 .. attempts-1]. *)
+
+val sleep : params -> seed:int -> ident:string -> attempt:int -> unit
+(** Sleep exactly [delay ~attempt] seconds — the convenience retry
+    loops reach for when they have no server-supplied hint to fold in. *)

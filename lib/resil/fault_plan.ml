@@ -22,9 +22,15 @@ let none = { triggers = [] }
 let make triggers = { triggers }
 let triggers t = t.triggers
 
-let standard_sites =
+(* The compute-path sites drive {!random} (grid chaos plans must keep
+   their seeded meaning across releases); the farm wire sites are armed
+   explicitly or by the farm chaos harness's own plans. *)
+let compute_sites =
   [ "pool.job"; "runner.run"; "memo.lookup"; "memo.store"; "journal.read";
     "journal.write" ]
+
+let farm_sites = [ "farm.send"; "farm.connect" ]
+let standard_sites = compute_sites @ farm_sites
 
 let action_to_string = function
   | Throw -> "crash"
@@ -37,7 +43,7 @@ let random ~seed ?(stall = 0.5) () =
   let n = 1 + Random.State.int st 3 in
   let triggers =
     List.init n (fun _ ->
-        let site = pick standard_sites in
+        let site = pick compute_sites in
         let action =
           match Random.State.int st 4 with
           | 0 -> Stall stall

@@ -17,6 +17,8 @@
     - ["memo.store"]     Runner memo fingerprint store (mangle)
     - ["journal.read"]   journal entry payload on load (mangle)
     - ["journal.write"]  journal entry payload on record (mangle)
+    - ["farm.send"]      farm server response send (hit)
+    - ["farm.connect"]   farm client connection attempt (hit)
 
     When no plan is armed every site is a single atomic load — the layer
     costs nothing in production runs. *)
@@ -58,9 +60,11 @@ val triggers : t -> trigger list
 val standard_sites : string list
 
 val random : seed:int -> ?stall:float -> unit -> t
-(** A deterministic pseudo-random plan over {!standard_sites}: one to
-    three triggers with bucket selectors, derived entirely from [seed].
-    [stall] (default 0.5s) is the duration used for [Stall] actions. *)
+(** A deterministic pseudo-random plan over the compute-path sites
+    (the farm wire sites are excluded so seeded grid-chaos plans keep
+    their historical meaning): one to three triggers with bucket
+    selectors, derived entirely from [seed].  [stall] (default 0.5s)
+    is the duration used for [Stall] actions. *)
 
 val parse_spec : string -> (trigger, string) result
 (** Parse a CLI trigger spec:

@@ -50,7 +50,7 @@ let test_frame_incomplete_prefix () =
   done
 
 let test_frame_oversized_rejected () =
-  (match Farm_frame.encode (String.make (Farm_frame.max_payload + 1) 'x') with
+  (match Farm_frame.encode (String.make (Farm_frame.max_frame_bytes + 1) 'x') with
   | exception Farm_frame.Frame_error _ -> ()
   | _ -> Alcotest.fail "oversized encode accepted");
   let huge = Bytes.create 4 in
@@ -106,6 +106,135 @@ let test_frame_read_streams () =
   match read_frames_of_bytes "GARBAGE-NOT-A-FRAME" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "garbage accepted as a frame"
+
+(* ---------------- Farm_frame fd layer: deadlines, torn streams ---------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    (fun () -> f a b)
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+(* Sever a two-frame stream at every byte boundary: the reader must
+   deliver exactly the complete frames, then diagnose a clean EOF at a
+   frame boundary or a torn frame anywhere else — and never hang. *)
+let test_fd_truncate_every_boundary () =
+  let f1 = Farm_frame.encode "hello" in
+  let wire = f1 ^ Farm_frame.encode "world!!" in
+  let boundary1 = String.length f1 in
+  for cut = 0 to String.length wire do
+    with_socketpair @@ fun a b ->
+    write_all a (String.sub wire 0 cut);
+    Unix.close a;
+    let complete =
+      if cut >= String.length wire then 2 else if cut >= boundary1 then 1 else 0
+    in
+    let at_boundary =
+      cut = 0 || cut = boundary1 || cut = String.length wire
+    in
+    let rec drain n =
+      match Farm_frame.read_fd ~idle_timeout:5. ~io_timeout:5. b with
+      | `Frame _ -> drain (n + 1)
+      | `Eof -> `Clean n
+      | `Idle_timeout | `Timeout | `Abort -> `Hung
+      | exception Farm_frame.Frame_error _ -> `Torn n
+    in
+    match drain 0 with
+    | `Clean n ->
+      if not (n = complete && at_boundary) then
+        Alcotest.failf "cut %d: clean EOF with %d frame(s), expected %d at %s"
+          cut n complete (if at_boundary then "a boundary" else "mid-frame")
+    | `Torn n ->
+      if not (n = complete && not at_boundary) then
+        Alcotest.failf "cut %d: torn after %d frame(s)" cut n
+    | `Hung -> Alcotest.failf "cut %d: reader hit a deadline instead of diagnosing" cut
+  done
+
+let test_fd_idle_timeout () =
+  with_socketpair @@ fun _a b ->
+  let t0 = Unix.gettimeofday () in
+  match Farm_frame.read_fd ~idle_timeout:0.15 ~io_timeout:5. b with
+  | `Idle_timeout ->
+    check bool "reaped promptly" true (Unix.gettimeofday () -. t0 < 3.)
+  | _ -> Alcotest.fail "expected Idle_timeout on a silent connection"
+
+(* The slowloris signature: bytes keep arriving, so an idle deadline
+   never fires, but the frame never completes — the io deadline must
+   count from the frame's first byte and not reset per byte. *)
+let test_fd_slowloris_timeout () =
+  with_socketpair @@ fun a b ->
+  let wire = Farm_frame.encode "a payload long enough to trickle" in
+  let stop = Atomic.make false in
+  let trickler =
+    Thread.create
+      (fun () ->
+        String.iter
+          (fun c ->
+            if not (Atomic.get stop) then begin
+              (try write_all a (String.make 1 c) with Unix.Unix_error _ -> ());
+              Thread.delay 0.05
+            end)
+          wire)
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Farm_frame.read_fd ~idle_timeout:10. ~io_timeout:0.25 b in
+  let dt = Unix.gettimeofday () -. t0 in
+  Atomic.set stop true;
+  Thread.join trickler;
+  (match r with
+  | `Timeout -> ()
+  | _ -> Alcotest.fail "trickling one byte at a time must trip the io deadline");
+  check bool "evicted around the io deadline, not the idle one" true
+    (dt >= 0.2 && dt < 5.)
+
+let test_fd_poll_abort () =
+  with_socketpair @@ fun _a b ->
+  let flag = Atomic.make false in
+  let setter =
+    Thread.create (fun () -> Thread.delay 0.1; Atomic.set flag true) ()
+  in
+  (match Farm_frame.read_fd ~idle_timeout:10. ~poll:(fun () -> Atomic.get flag) b with
+  | `Abort -> ()
+  | _ -> Alcotest.fail "expected Abort when the poll callback flips");
+  Thread.join setter
+
+(* A dead reader: the peer never drains its socket, so once the kernel
+   buffers fill, a deadline-guarded write must give up loudly. *)
+let test_fd_write_deadline_dead_reader () =
+  with_socketpair @@ fun a _b ->
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 1 with Unix.Unix_error _ -> ());
+  Unix.set_nonblock a;
+  let payload = String.make 4096 'x' in
+  let t0 = Unix.gettimeofday () in
+  match
+    for _ = 1 to 10_000 do
+      Farm_frame.write_fd ~io_timeout:0.2 a payload
+    done
+  with
+  | () -> Alcotest.fail "10k frames into a dead reader never tripped the deadline"
+  | exception Farm_frame.Io_timeout _ ->
+    check bool "dead reader detected promptly" true
+      (Unix.gettimeofday () -. t0 < 10.)
+
+let test_fd_roundtrip () =
+  with_socketpair @@ fun a b ->
+  List.iter
+    (fun p ->
+      Farm_frame.write_fd ~io_timeout:5. a p;
+      match Farm_frame.read_fd ~idle_timeout:5. ~io_timeout:5. b with
+      | `Frame got -> check string "fd roundtrip" p got
+      | _ -> Alcotest.fail "expected a frame")
+    [ ""; "x"; "{\"req\":\"ping\"}"; String.make 70_000 'q' ]
 
 (* ---------------- Farm_protocol roundtrips ---------------- *)
 
@@ -178,6 +307,9 @@ let gen_response =
   oneof
     [ return Farm_protocol.Pong;
       return Farm_protocol.Shutting_down;
+      return Farm_protocol.Draining;
+      (let* retry_after_ms = small_nat in
+       return (Farm_protocol.Overloaded { retry_after_ms }));
       (let* s = gen_farm_stats in
        return (Farm_protocol.Stats_reply s));
       (let* msg = gen_label in
@@ -271,6 +403,15 @@ let test_decode_rejects_garbage () =
   rejected "rejection with non-string diags"
     "{\"resp\":\"invalid\",\"id\":\"r\",\"reason\":\"no\",\"diags\":[1]}"
     Farm_protocol.decode_response;
+  rejected "overloaded with a negative retry hint"
+    "{\"resp\":\"overloaded\",\"retry_after_ms\":-5}"
+    Farm_protocol.decode_response;
+  rejected "overloaded without a retry hint"
+    "{\"resp\":\"overloaded\"}"
+    Farm_protocol.decode_response;
+  rejected "overloaded with a float retry hint"
+    "{\"resp\":\"overloaded\",\"retry_after_ms\":1.5}"
+    Farm_protocol.decode_response;
   rejected "bad window arity"
     "{\"req\":\"grid\",\"id\":\"i\",\"tag\":\"t\",\"metric\":\"gain\",\
      \"eval_instrs\":1,\"train_instrs\":1,\"names\":[],\
@@ -297,7 +438,7 @@ let grid_b : Grid.spec =
     columns = [ col "CRISP" "crisp" ];
     names = [ "pointer_chase"; "xz"; "nab" ] }
 
-let with_server ?journal_dir ~workers f =
+let with_server ?journal_dir ?(limits = Farm_server.default_limits) ~workers f =
   let dir = tmpdir () in
   let socket = Filename.concat dir "s" in
   let pool =
@@ -307,7 +448,7 @@ let with_server ?journal_dir ~workers f =
   let srv =
     Farm_server.create
       { Farm_server.socket; pool; policy = Resil.Supervise.default_policy;
-        journal_dir; verbose = false }
+        journal_dir; verbose = false; limits }
   in
   let th = Thread.create Farm_server.run srv in
   Fun.protect
@@ -317,11 +458,11 @@ let with_server ?journal_dir ~workers f =
       Thread.join th;
       if workers > 1 then Exec.Pool.shutdown pool)
 
-let connect socket =
+let connect ?io_timeout socket =
   let rec go n =
-    match Farm_client.connect ~socket with
+    match Farm_client.connect ?io_timeout ~socket () with
     | c -> c
-    | exception Farm_client.Farm_error _ when n > 0 ->
+    | exception Farm_client.Disconnected _ when n > 0 ->
       Thread.delay 0.02;
       go (n - 1)
   in
@@ -429,6 +570,9 @@ let test_daemon_rejects_garbage_loudly () =
       | Some p -> drain (p :: acc)
       | None -> List.rev acc
       | exception Farm_frame.Frame_error _ -> List.rev acc
+      (* The daemon may close with our unread garbage still queued,
+         which surfaces as a reset rather than a clean EOF. *)
+      | exception Sys_error _ -> List.rev acc
     in
     let frames = drain [] in
     close_in_noerr ic;
@@ -484,6 +628,274 @@ let test_daemon_rejects_inadmissible_grids () =
     (Farm_server.stats srv).Farm_protocol.requests_served;
   Farm_client.ping c
 
+(* ---------------- lifecycle: shedding, eviction, drain ---------------- *)
+
+let test_server_sheds_over_cap () =
+  with_server
+    ~limits:{ Farm_server.default_limits with max_connections = 1 }
+    ~workers:1
+  @@ fun ~socket ~srv:_ ->
+  let c1 = connect socket in
+  Fun.protect ~finally:(fun () -> Farm_client.close c1) @@ fun () ->
+  Farm_client.ping c1;
+  (* c1's handler is live, so the next connection is over cap. *)
+  let c2 = connect socket in
+  Fun.protect ~finally:(fun () -> Farm_client.close c2) @@ fun () ->
+  match Farm_client.ping c2 with
+  | () -> Alcotest.fail "over-cap connection was served"
+  | exception Farm_client.Overloaded ms ->
+    check int "shed carries the configured retry hint" 250 ms
+
+let test_server_recycles_request_budget () =
+  with_server
+    ~limits:{ Farm_server.default_limits with max_requests_per_conn = 2 }
+    ~workers:1
+  @@ fun ~socket ~srv:_ ->
+  let c = connect socket in
+  (Fun.protect ~finally:(fun () -> Farm_client.close c) @@ fun () ->
+   Farm_client.ping c;
+   Farm_client.ping c;
+   match Farm_client.ping c with
+   | () -> Alcotest.fail "third request exceeded the connection budget"
+   | exception Farm_client.Overloaded 0 -> ()
+   | exception Farm_client.Overloaded ms ->
+     Alcotest.failf "recycle hint should be 0 (just reconnect), got %d" ms);
+  (* Reconnecting gets a fresh budget. *)
+  let c2 = connect socket in
+  Farm_client.ping c2;
+  Farm_client.close c2
+
+(* The acceptance property: a slowloris writer trickling a frame one
+   byte at a time is evicted within the io deadline, while a healthy
+   client on the same daemon completes its grid undisturbed. *)
+let test_server_evicts_slowloris_healthy_unblocked () =
+  Runner.clear_cache ();
+  with_server
+    ~limits:{ Farm_server.default_limits with io_timeout = Some 0.4 }
+    ~workers:2
+  @@ fun ~socket ~srv:_ ->
+  Farm_client.close (connect socket);
+  let healthy = ref None in
+  let healthy_th =
+    Thread.create (fun () -> healthy := Some (run_one socket grid_b)) ()
+  in
+  let sl = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sl with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sl (Unix.ADDR_UNIX socket);
+      (* Start a frame, then trickle: far slower than the 0.4s io
+         deadline, far faster than the 600s idle reap. *)
+      let t0 = Unix.gettimeofday () in
+      write_all sl "\x00\x00";
+      let rec trickle i =
+        if i > 60 then None
+        else
+          match write_all sl "\x00" with
+          | () ->
+            Thread.delay 0.15;
+            trickle (i + 1)
+          | exception Unix.Unix_error _ -> Some (Unix.gettimeofday () -. t0)
+      in
+      match trickle 0 with
+      | None -> Alcotest.fail "slowloris was never evicted"
+      | Some dt ->
+        check bool "evicted within the io deadline (plus slack)" true (dt < 5.));
+  Thread.join healthy_th;
+  match !healthy with
+  | None -> Alcotest.fail "healthy client blocked behind the slowloris"
+  | Some r ->
+    check int "healthy grid complete" 3 r.Farm_client.summary.Farm_protocol.cells;
+    Runner.clear_cache ();
+    check_rows "healthy rows identical to sequential" (reference grid_b)
+      r.Farm_client.rows
+
+(* A dead reader floods requests and never drains a single response;
+   the handler's deadline-guarded writes must evict it mid-stream, and
+   the daemon keeps serving others. *)
+let test_server_evicts_dead_reader () =
+  with_server
+    ~limits:
+      { Farm_server.default_limits with io_timeout = Some 0.4; sndbuf = Some 1 }
+    ~workers:1
+  @@ fun ~socket ~srv:_ ->
+  Farm_client.close (connect socket);
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let ping = Farm_frame.encode (Farm_protocol.encode_request Farm_protocol.Ping) in
+      let n_sent = ref 0 in
+      (try
+         for _ = 1 to 3000 do
+           write_all fd ping;
+           incr n_sent
+         done
+       with Unix.Unix_error _ -> ());
+      (* Give the handler time to fill the send buffer and trip the
+         write deadline. *)
+      Thread.delay 1.2;
+      (* The daemon still serves a healthy client meanwhile. *)
+      let c = connect socket in
+      Farm_client.ping c;
+      Farm_client.close c;
+      (* Drain what the dead reader left behind: the connection must be
+         dead long before every ping was answered. *)
+      let got = ref 0 in
+      (try
+         let rec drain () =
+           match Farm_frame.read_fd ~idle_timeout:1. ~io_timeout:1. fd with
+           | `Frame _ ->
+             incr got;
+             drain ()
+           | _ -> ()
+         in
+         drain ()
+       with Farm_frame.Frame_error _ | Unix.Unix_error _ -> ());
+      if not (!got < !n_sent) then
+        Alcotest.failf "dead reader was served all %d responses" !n_sent)
+
+let test_server_drain_graceful () =
+  Runner.clear_cache ();
+  let jdir = tmpdir () in
+  (with_server ~journal_dir:jdir ~workers:1 @@ fun ~socket ~srv ->
+   (* An idle connection parked between frames... *)
+   let idle = connect socket in
+   Farm_client.ping idle;
+   (* ...and a grid in flight when the drain begins. *)
+   let result = ref None in
+   let inflight =
+     Thread.create (fun () -> result := Some (run_one socket grid_b)) ()
+   in
+   Thread.delay 0.05;
+   Farm_server.stop srv;
+   Thread.join inflight;
+   (match !result with
+   | None -> Alcotest.fail "in-flight grid lost under drain"
+   | Some r ->
+     check int "in-flight grid finished streaming under drain" 3
+       r.Farm_client.summary.Farm_protocol.cells;
+     Runner.clear_cache ();
+     check_rows "drained rows identical to sequential" (reference grid_b)
+       r.Farm_client.rows);
+   (* The idle connection learns about the drain within a poll tick or
+      two, via a structured Draining frame (surfaced as Disconnected). *)
+   let rec expect_draining n =
+     if n = 0 then Alcotest.fail "idle connection never saw the drain"
+     else
+       match Farm_client.ping idle with
+       | () ->
+         Thread.delay 0.02;
+         expect_draining (n - 1)
+       | exception Farm_client.Disconnected _ -> ()
+   in
+   expect_draining 100;
+   Farm_client.close idle);
+  (* with_server has joined the run loop: the graceful exit must be on
+     record for the next daemon (and the chaos harness) to see. *)
+  let j =
+    Resil.Journal.in_dir ~dir:jdir ~name:"server"
+      ~signature:"crisp-farm server v1"
+  in
+  match Resil.Journal.find j "clean_shutdown" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "graceful drain did not journal clean_shutdown"
+
+(* An unparsable served-requests counter must be quarantined loudly,
+   never silently trusted or crashed on. *)
+let test_server_journal_corruption_quarantined () =
+  let jdir = tmpdir () in
+  let j =
+    Resil.Journal.in_dir ~dir:jdir ~name:"server"
+      ~signature:"crisp-farm server v1"
+  in
+  Resil.Journal.record j ~key:"requests_served" ~payload:"banana";
+  Resil.Log.clear ();
+  with_server ~journal_dir:jdir ~workers:1 @@ fun ~socket ~srv ->
+  Farm_client.close (connect socket);
+  check int "corrupt counter quarantined to zero" 0
+    (Farm_server.stats srv).Farm_protocol.requests_served;
+  let quarantined =
+    List.exists
+      (function
+        | Resil.Log.Quarantined { ident = "server/requests_served"; _ } -> true
+        | _ -> false)
+      (Resil.Log.events ())
+  in
+  check bool "quarantine recorded in the resilience log" true quarantined
+
+(* ---------------- chaos proxy ---------------- *)
+
+let test_proxy_spec_parsing () =
+  let ok s =
+    match Chaos_proxy.parse_spec s with
+    | Ok tr -> Chaos_proxy.trigger_to_string tr
+    | Error e -> Alcotest.failf "spec %S rejected: %s" s e
+  in
+  check string "default direction and count" "down:drop#1" (ok "drop");
+  check string "explicit up" "up:corrupt-len#2" (ok "up:corrupt-len#2");
+  check string "stall with duration" "down:stall=0.5#2" (ok "stall=0.5#2");
+  check string "from-count" "down:delay=0.2+4" (ok "delay+4");
+  List.iter
+    (fun s ->
+      match Chaos_proxy.parse_spec s with
+      | Error _ -> ()
+      | Ok tr ->
+        Alcotest.failf "bad spec %S accepted as %s" s
+          (Chaos_proxy.trigger_to_string tr))
+    [ "warp"; "stall=x"; "down:drop#0"; "up:"; "delay=-1"; "truncate#" ]
+
+let with_proxy ~plan ~upstream f =
+  let dir = tmpdir () in
+  let listen = Filename.concat dir "p" in
+  let px = Chaos_proxy.start ~listen ~upstream ~plan in
+  Fun.protect
+    (fun () -> f ~proxy_socket:listen ~px)
+    ~finally:(fun () -> Chaos_proxy.stop px)
+
+let test_proxy_passthrough_byte_identical () =
+  Runner.clear_cache ();
+  with_server ~workers:2 @@ fun ~socket ~srv:_ ->
+  with_proxy ~plan:[] ~upstream:socket @@ fun ~proxy_socket ~px ->
+  let r = run_one proxy_socket grid_a in
+  check int "all cells through the proxy" 4
+    r.Farm_client.summary.Farm_protocol.cells;
+  check bool "no faults fired on an empty plan" true (Chaos_proxy.fired px = []);
+  check bool "frames actually flowed through the proxy" true
+    (Chaos_proxy.frames px Chaos_proxy.Down > 0);
+  Runner.clear_cache ();
+  check_rows "proxied rows identical to sequential" (reference grid_a)
+    r.Farm_client.rows
+
+(* The reconnect-and-resume e2e: a mid-stream disconnect (the proxy
+   drops the 3rd downstream frame) forces a retry; the converged rows
+   are byte-identical and no cell simulates twice. *)
+let test_proxy_drop_reconnect_exactly_once () =
+  Runner.clear_cache ();
+  with_server ~workers:2 @@ fun ~socket ~srv ->
+  let plan =
+    [ { Chaos_proxy.direction = Chaos_proxy.Down;
+        count = Resil.Fault_plan.Nth 3;
+        action = Chaos_proxy.Drop } ]
+  in
+  with_proxy ~plan ~upstream:socket @@ fun ~proxy_socket ~px ->
+  let retry =
+    { Farm_client.default_retry with attempts = 6; connect_timeout = 5. }
+  in
+  let r, attempts =
+    Farm_client.run_grid_retrying ~socket:proxy_socket ~retry ~spec:grid_b
+      ~eval_instrs:small_eval ~train_instrs:small_train ()
+  in
+  check bool "the drop actually fired" true (Chaos_proxy.fired px <> []);
+  check bool "client had to reconnect" true (attempts >= 2);
+  check int "every unique cell simulated exactly once across retries" 3
+    (Farm_server.stats srv).Farm_protocol.memo.Exec.Memo.misses;
+  check int "converged grid complete" 3 r.Farm_client.summary.Farm_protocol.cells;
+  Runner.clear_cache ();
+  check_rows "converged rows identical to sequential" (reference grid_b)
+    r.Farm_client.rows
+
 let () =
   Alcotest.run "farm"
     [ ( "frame",
@@ -491,6 +903,18 @@ let () =
           Alcotest.test_case "incomplete prefix" `Quick test_frame_incomplete_prefix;
           Alcotest.test_case "oversized rejected" `Quick test_frame_oversized_rejected;
           Alcotest.test_case "channel read" `Quick test_frame_read_streams ] );
+      ( "fd",
+        [ Alcotest.test_case "truncated at every byte boundary" `Quick
+            test_fd_truncate_every_boundary;
+          Alcotest.test_case "idle timeout reaps silence" `Quick
+            test_fd_idle_timeout;
+          Alcotest.test_case "slowloris trips the io deadline" `Quick
+            test_fd_slowloris_timeout;
+          Alcotest.test_case "poll aborts between frames" `Quick
+            test_fd_poll_abort;
+          Alcotest.test_case "write deadline evicts a dead reader" `Quick
+            test_fd_write_deadline_dead_reader;
+          Alcotest.test_case "roundtrip" `Quick test_fd_roundtrip ] );
       ( "protocol",
         [ QCheck_alcotest.to_alcotest prop_request_roundtrip;
           QCheck_alcotest.to_alcotest prop_response_roundtrip;
@@ -504,4 +928,23 @@ let () =
           Alcotest.test_case "garbage rejected loudly" `Quick
             test_daemon_rejects_garbage_loudly;
           Alcotest.test_case "inadmissible grids rejected" `Quick
-            test_daemon_rejects_inadmissible_grids ] ) ]
+            test_daemon_rejects_inadmissible_grids ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "over-cap connections shed" `Quick
+            test_server_sheds_over_cap;
+          Alcotest.test_case "request budget recycles connections" `Quick
+            test_server_recycles_request_budget;
+          Alcotest.test_case "slowloris evicted, healthy client served" `Quick
+            test_server_evicts_slowloris_healthy_unblocked;
+          Alcotest.test_case "dead reader evicted mid-stream" `Quick
+            test_server_evicts_dead_reader;
+          Alcotest.test_case "graceful drain" `Quick test_server_drain_graceful;
+          Alcotest.test_case "corrupt counter journal quarantined" `Quick
+            test_server_journal_corruption_quarantined ] );
+      ( "proxy",
+        [ Alcotest.test_case "wire-fault specs parse" `Quick
+            test_proxy_spec_parsing;
+          Alcotest.test_case "empty plan is a transparent wire" `Quick
+            test_proxy_passthrough_byte_identical;
+          Alcotest.test_case "drop mid-stream, reconnect, exactly once" `Quick
+            test_proxy_drop_reconnect_exactly_once ] ) ]

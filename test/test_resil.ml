@@ -49,6 +49,17 @@ let test_backoff_deterministic () =
   check bool "later attempts back off more" true
     (List.nth sched 3 > List.nth sched 0)
 
+let test_backoff_sleep () =
+  (* A tiny schedule so the test stays fast: sleep must last (at least)
+     the deterministic delay it is documented to equal. *)
+  let p = { Resil.Backoff.base = 0.02; factor = 1.0; max_delay = 0.02; jitter = 0. } in
+  let d = Resil.Backoff.delay p ~seed:3 ~ident:"sleepy" ~attempt:1 in
+  check floats "jitter-free delay is the base" 0.02 d;
+  let t0 = Unix.gettimeofday () in
+  Resil.Backoff.sleep p ~seed:3 ~ident:"sleepy" ~attempt:1;
+  let dt = Unix.gettimeofday () -. t0 in
+  check bool "sleep lasts the scheduled delay" true (dt >= 0.015 && dt < 2.)
+
 (* ---------------- Fault_plan ---------------- *)
 
 let parse_ok spec =
@@ -136,6 +147,33 @@ let test_mangle_deterministic () =
   disarm ();
   check Alcotest.string "disarmed mangle is identity" payload
     (mangle ~ident:"k" "journal.write" payload)
+
+(* The farm's wire sites are registered control sites, but seeded
+   random plans must keep picking only compute-path sites so historical
+   grid-chaos seeds keep their meaning. *)
+let test_farm_sites () =
+  let open Resil.Fault_plan in
+  check bool "farm.send registered" true (List.mem "farm.send" standard_sites);
+  check bool "farm.connect registered" true
+    (List.mem "farm.connect" standard_sites);
+  for seed = 0 to 19 do
+    List.iter
+      (fun tr ->
+        if String.length tr.site >= 5 && String.sub tr.site 0 5 = "farm." then
+          Alcotest.failf "random plan (seed %d) targets wire site %s" seed
+            tr.site)
+      (triggers (random ~seed ()))
+  done;
+  (* An armed farm-site trigger fires like any other control site. *)
+  arm
+    (make
+       [ { site = "farm.connect"; selector = Any; count = Nth 1; action = Throw } ]);
+  check bool "farm.connect trigger fires" true
+    (match hit ~ident:"sock" "farm.connect" with
+    | () -> false
+    | exception Injected "farm.connect" -> true
+    | exception _ -> false);
+  disarm ()
 
 (* ---------------- Supervise ---------------- *)
 
@@ -613,12 +651,14 @@ let () =
     [ ( "clock+backoff",
         [ Alcotest.test_case "clock-monotone" `Quick (isolated test_clock_monotone);
           Alcotest.test_case "backoff-deterministic" `Quick
-            (isolated test_backoff_deterministic) ] );
+            (isolated test_backoff_deterministic);
+          Alcotest.test_case "backoff-sleep" `Quick (isolated test_backoff_sleep) ] );
       ( "fault_plan",
         [ Alcotest.test_case "parse-spec" `Quick (isolated test_parse_spec);
           Alcotest.test_case "firing" `Quick (isolated test_fault_plan_firing);
           Alcotest.test_case "mangle-deterministic" `Quick
-            (isolated test_mangle_deterministic) ] );
+            (isolated test_mangle_deterministic);
+          Alcotest.test_case "farm-wire-sites" `Quick (isolated test_farm_sites) ] );
       ( "supervise",
         [ Alcotest.test_case "ok-and-crash" `Quick
             (isolated test_supervise_ok_and_crash);
