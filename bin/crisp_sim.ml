@@ -376,10 +376,39 @@ let policy_of ~deadline ~retries ~seed =
     retries;
     seed }
 
+let sample_arg =
+  let doc =
+    "Run Gain cells as sampled (interval-CPI) simulations instead of \
+     full-fidelity runs: functional fast-forward between short detailed \
+     windows, reported as a confidence-bounded estimate.  $(docv) is a \
+     comma-separated k=v list over $(b,units) (measured intervals), \
+     $(b,unit) (instructions per interval), $(b,warmup) (warm-up \
+     instructions before each interval) and optional $(b,ci) (target \
+     relative half-width; units double until it is met).  $(docv) = \
+     $(b,default) uses units=30,unit=1000,warmup=2000.  Sampled cells \
+     are memoised and journalled under their own keys, never mixed \
+     with full-fidelity results."
+  in
+  Arg.(value & opt (some string) None & info [ "sample" ] ~docv:"CONFIG" ~doc)
+
+let parse_sample = function
+  | None -> None
+  | Some "default" -> Some Sample_config.default
+  | Some spec -> (
+    match Sample_config.of_string spec with
+    | Ok s -> Some s
+    | Error msg ->
+      Printf.eprintf "crisp_sim: bad --sample config: %s\n" msg;
+      exit 2)
+
 (* The journal signature ties checkpoints to the run shape: resuming
-   with different instruction budgets must recompute, not reuse. *)
-let experiments_signature ~instrs ~train_instrs =
-  Printf.sprintf "crisp experiments eval=%d train=%d" instrs train_instrs
+   with different instruction budgets — or flipping between sampled and
+   full fidelity — must recompute, not reuse. *)
+let experiments_signature ~instrs ~train_instrs ~sample =
+  Printf.sprintf "crisp experiments eval=%d train=%d%s" instrs train_instrs
+    (match sample with
+    | None -> ""
+    | Some s -> " sample=" ^ Sample_config.to_string s)
 
 (* Print the resilience summary (stderr, so figure text on stdout stays
    diffable) and turn degradation into exit 1. *)
@@ -390,12 +419,13 @@ let finish_resilient_run () =
   if degraded > 0 || quarantined > 0 then exit 1
 
 let experiments figures instrs train_instrs jobs journal_path resume deadline
-    retries seed =
+    retries seed sample_spec =
   validate_figures figures;
   if resume && journal_path = None then begin
     Printf.eprintf "crisp_sim: --resume requires --journal FILE\n";
     exit 2
   end;
+  let sample = parse_sample sample_spec in
   with_jobs jobs @@ fun () ->
   let sizes = { Experiments.eval_instrs = instrs; train_instrs } in
   Resil.Log.clear ();
@@ -406,17 +436,27 @@ let experiments figures instrs train_instrs jobs journal_path resume deadline
            source of stale cells. *)
         if (not resume) && Sys.file_exists path then Sys.remove path;
         Resil.Journal.load ~path
-          ~signature:(experiments_signature ~instrs ~train_instrs))
+          ~signature:(experiments_signature ~instrs ~train_instrs ~sample))
       journal_path
   in
   Experiments.set_resilience ?journal (policy_of ~deadline ~retries ~seed);
-  (match figures with
-  | [] -> Experiments.run_all ~sizes ()
-  | figures ->
-    List.iter
-      (fun fig ->
-        ignore (Experiments.protected ~ident:fig (fun () -> run_figure ~sizes fig)))
-      figures);
+  Experiments.set_sample sample;
+  (match sample with
+  | None -> ()
+  | Some s ->
+    Printf.eprintf "experiments: Gain cells sampled (%s)\n%!"
+      (Sample_config.to_string s));
+  Fun.protect
+    ~finally:(fun () -> Experiments.set_sample None)
+    (fun () ->
+      match figures with
+      | [] -> Experiments.run_all ~sizes ()
+      | figures ->
+        List.iter
+          (fun fig ->
+            ignore
+              (Experiments.protected ~ident:fig (fun () -> run_figure ~sizes fig)))
+          figures);
   finish_resilient_run ()
 
 (* ------------------------------------------------------------------ *)
@@ -643,7 +683,8 @@ let experiments_cmd =
   Cmd.v info
     Term.(
       const experiments $ figures_arg $ instrs_arg $ train_arg $ jobs_arg
-      $ journal_arg $ resume_arg $ deadline_arg $ retries_arg $ seed_arg)
+      $ journal_arg $ resume_arg $ deadline_arg $ retries_arg $ seed_arg
+      $ sample_arg)
 
 let chaos_figure_arg =
   let doc = "Figure to run under fault injection." in
@@ -769,18 +810,19 @@ let print_farm_stats (s : Farm_protocol.farm_stats) =
   Printf.printf
     "memo: %d hits  %d misses  %d dedups  %d evictions  %d entries\n\
      pool: %d workers  %d queued  %d running  %d stolen\n\
-     journal: %d cells   requests served: %d\n"
+     journal: %d cells   requests served: %d   sampled cells: %d\n"
     s.Farm_protocol.memo.Exec.Memo.hits s.Farm_protocol.memo.Exec.Memo.misses
     s.Farm_protocol.memo.Exec.Memo.dedups
     s.Farm_protocol.memo.Exec.Memo.evictions
     s.Farm_protocol.memo.Exec.Memo.entries s.Farm_protocol.pool.Exec.Pool.workers
     s.Farm_protocol.pool.Exec.Pool.queued s.Farm_protocol.pool.Exec.Pool.running
     s.Farm_protocol.pool.Exec.Pool.stolen s.Farm_protocol.journal_cells
-    s.Farm_protocol.requests_served
+    s.Farm_protocol.requests_served s.Farm_protocol.sampled_cells
 
 let client grids instrs train_instrs socket do_ping do_stats do_shutdown
-    retries connect_timeout io_timeout =
+    retries connect_timeout io_timeout sample_spec =
   let io_timeout = if io_timeout <= 0. then None else Some io_timeout in
+  let sample = parse_sample sample_spec in
   let specs =
     match grids with
     | [] -> Grid.catalog
@@ -830,17 +872,19 @@ let client grids instrs train_instrs socket do_ping do_stats do_shutdown
       List.iter
         (fun (spec : Grid.spec) ->
           let r, attempts =
-            Farm_client.run_grid_retrying ~socket ~retry ~spec
+            Farm_client.run_grid_retrying ~socket ~retry ?sample ~spec
               ~eval_instrs:instrs ~train_instrs ()
           in
           Grid.render spec r.Farm_client.rows;
           let s = r.Farm_client.summary in
           Printf.eprintf
             "%s: %d cells — %d computed, %d deduplicated, %d from journal, \
-             %d degraded\n"
+             %d degraded%s\n"
             spec.Grid.tag s.Farm_protocol.cells s.Farm_protocol.computed
             s.Farm_protocol.memo_hits s.Farm_protocol.journal_hits
-            s.Farm_protocol.degraded;
+            s.Farm_protocol.degraded
+            (if s.Farm_protocol.sample = "" then ""
+             else " — sampled (" ^ s.Farm_protocol.sample ^ ")");
           if attempts > 1 then
             Printf.eprintf "%s: converged after %d attempts\n" spec.Grid.tag
               attempts;
@@ -880,7 +924,8 @@ let client_cmd =
     Term.(
       const client $ client_grids_arg $ instrs_arg $ train_arg $ farm_socket_arg
       $ client_ping_arg $ client_stats_arg $ client_shutdown_arg
-      $ client_retries_arg $ client_connect_timeout_arg $ client_io_timeout_arg)
+      $ client_retries_arg $ client_connect_timeout_arg $ client_io_timeout_arg
+      $ sample_arg)
 
 let () =
   let info =

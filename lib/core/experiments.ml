@@ -36,6 +36,19 @@ let set_resilience ?journal policy = resilience := { policy; journal }
 
 let current_resilience () = !resilience
 
+(* ------------------------------------------------------------------ *)
+(* Sampling context: when installed, grid Gain cells run sampled timing
+   simulations instead of full-fidelity ones.  A global mirroring
+   [set_pool]: the figure entry points stay zero-argument, and the
+   journal signature already distinguishes sampled runs (the CLI folds
+   the sample string into it). *)
+
+let sample = ref None
+
+let set_sample s = sample := s
+
+let current_sample () = !sample
+
 let cell_ident ~tag name j = Printf.sprintf "%s/%s/%d" tag name j
 
 (* Serve a cell from the journal if a valid checkpoint exists.  The
@@ -261,7 +274,7 @@ let run_grid ~sizes (spec : Grid.spec) =
     submit_cells ~tag:spec.Grid.tag ~degraded:Float.nan ~names:spec.Grid.names
       ~cols:spec.Grid.columns
       ~cell:(fun name column ->
-        Grid.cell_value ~eval_instrs:sizes.eval_instrs
+        Grid.cell_value ?sample:!sample ~eval_instrs:sizes.eval_instrs
           ~train_instrs:sizes.train_instrs ~name ~metric:spec.Grid.metric column)
   in
   Grid.render spec rows;

@@ -49,6 +49,17 @@ val set_resilience : ?journal:Resil.Journal.t -> Resil.Supervise.policy -> unit
 
 val current_resilience : unit -> resilience
 
+val set_sample : Sample_config.t option -> unit
+(** Install (or clear) the sampling config for the figure grids: with a
+    config installed, Gain cells evaluate through
+    {!Runner.evaluate_sampled} — sampled timing simulation with interval
+    CPI — instead of full-fidelity runs.  Sampled cells keep their own
+    memo identity, and callers journalling a sampled run must fold the
+    config into the journal signature (the CLI does) so sampled and full
+    checkpoints never mix. *)
+
+val current_sample : unit -> Sample_config.t option
+
 val protected : ident:string -> (unit -> 'a) -> 'a option
 (** Run a whole figure, catching any exception into a [Degraded] log
     entry and an explicit marker line instead of propagating — the

@@ -152,7 +152,17 @@ let config_of_window = function
 
 let ipc_of (outcome : Runner.outcome) = Cpu_stats.ipc outcome.Runner.stats
 
-let cell_value ~eval_instrs ~train_instrs ~name ~metric column =
+(* Sampled evaluation keeps its own memo identity in [Runner], so a
+   sampled Gain cell never reuses (or pollutes) a full-fidelity cell. *)
+let evaluate_ipc ?sample ~cfg ~eval_instrs ~train_instrs ~name variant =
+  match sample with
+  | None ->
+    ipc_of (Runner.evaluate ~cfg ~eval_instrs ~train_instrs ~name variant)
+  | Some sample ->
+    let s = Runner.evaluate_sampled ~cfg ~eval_instrs ~train_instrs ~sample ~name variant in
+    Cpu_stats.ipc s.Runner.sampled_result.Sampler.stats
+
+let cell_value ?sample ~eval_instrs ~train_instrs ~name ~metric column =
   let cfg = config_of_window column.window in
   let variant =
     match variant_of_column column with
@@ -161,12 +171,22 @@ let cell_value ~eval_instrs ~train_instrs ~name ~metric column =
   in
   match metric with
   | Gain ->
-    let base = Runner.evaluate ~cfg ~eval_instrs ~train_instrs ~name Runner.Ooo in
-    let v = Runner.evaluate ~cfg ~eval_instrs ~train_instrs ~name variant in
-    (ipc_of v /. ipc_of base) -. 1.
+    let base = evaluate_ipc ?sample ~cfg ~eval_instrs ~train_instrs ~name Runner.Ooo in
+    let v = evaluate_ipc ?sample ~cfg ~eval_instrs ~train_instrs ~name variant in
+    (v /. base) -. 1.
   | Slice_size | Static_count -> (
-    let outcome = Runner.evaluate ~cfg ~eval_instrs ~train_instrs ~name variant in
-    match outcome.Runner.artifacts with
+    (* Artifact metrics come from the FDO pass, which sampling leaves at
+       full fidelity; under sampling the (cheap, sampled) evaluation
+       still avoids the full timing run. *)
+    let artifacts =
+      match sample with
+      | None ->
+        (Runner.evaluate ~cfg ~eval_instrs ~train_instrs ~name variant).Runner.artifacts
+      | Some sample ->
+        (Runner.evaluate_sampled ~cfg ~eval_instrs ~train_instrs ~sample ~name variant)
+          .Runner.sampled_artifacts
+    in
+    match artifacts with
     | None ->
       invalid_arg
         (Printf.sprintf "Grid.cell_value: metric %s needs a CRISP column"

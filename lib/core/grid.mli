@@ -68,9 +68,13 @@ val validate : spec -> (unit, string) result
     daemon runs this on every request before spawning work. *)
 
 val cell_value :
+  ?sample:Sample_config.t ->
   eval_instrs:int -> train_instrs:int -> name:string -> metric:metric ->
   column -> float
-(** Compute one cell (memoised through {!Runner.evaluate}).
+(** Compute one cell (memoised through {!Runner.evaluate}).  With
+    [sample] set, Gain cells use sampled timing runs
+    ({!Runner.evaluate_sampled}, separate memo identity); artifact
+    metrics come from the full-fidelity FDO pass either way.
     @raise Invalid_argument on a column {!validate} would reject. *)
 
 val full_rows :

@@ -16,15 +16,27 @@ type outcome = {
    point, so an injected corruption is detected at lookup instead of
    leaking a silently-wrong figure.  When no plan is armed both fields
    are empty and the seal costs nothing. *)
-type sealed = {
-  outcome : outcome;
+type 'a sealed = {
+  outcome : 'a;
   repr : string;
   fingerprint : string;
 }
 
-let cache : (string, sealed) Exec.Memo.t = Exec.Memo.create ~size_hint:64 ()
+(* Sampled outcomes live in their own table: a sampled cell must never
+   share a memo identity with a full-fidelity cell. *)
+type sampled = {
+  sampled_result : Sampler.result;
+  sampled_artifacts : Fdo.artifacts option;
+}
 
-let clear_cache () = Exec.Memo.clear cache
+let cache : (string, outcome sealed) Exec.Memo.t = Exec.Memo.create ~size_hint:64 ()
+
+let sampled_cache : (string, sampled sealed) Exec.Memo.t =
+  Exec.Memo.create ~size_hint:64 ()
+
+let clear_cache () =
+  Exec.Memo.clear cache;
+  Exec.Memo.clear sampled_cache
 
 let cache_stats () = Exec.Memo.stats cache
 
@@ -87,17 +99,7 @@ let run_variant ?tracer ~cfg ~eval_instrs ~train_instrs ~name variant =
     in
     { stats; artifacts = None }
 
-let evaluate ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
-    ?(train_instrs = 150_000) ~name variant =
-  let key = cache_key ~cfg ~eval_instrs ~train_instrs ~name variant in
-  (* The injection ident is per cache entry (name for substring
-     selectors, key prefix for uniqueness), so Nth-hit triggers count
-     each entry independently — deterministic under work stealing. *)
-  let ident = Printf.sprintf "%s/%s" name (String.sub (Digest.to_hex key) 0 8) in
-  let compute () =
-    Resil.Fault_plan.hit ~ident "runner.run";
-    seal ~ident (run_variant ~cfg ~eval_instrs ~train_instrs ~name variant)
-  in
+let memoised ~cache ~key ~ident compute =
   let rec attempt budget =
     let sealed = Exec.Memo.find_or_run cache key compute in
     match unseal ~ident sealed with
@@ -119,6 +121,84 @@ let evaluate ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
       else attempt (budget - 1)
   in
   attempt 2
+
+let evaluate ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
+    ?(train_instrs = 150_000) ~name variant =
+  let key = cache_key ~cfg ~eval_instrs ~train_instrs ~name variant in
+  (* The injection ident is per cache entry (name for substring
+     selectors, key prefix for uniqueness), so Nth-hit triggers count
+     each entry independently — deterministic under work stealing. *)
+  let ident = Printf.sprintf "%s/%s" name (String.sub (Digest.to_hex key) 0 8) in
+  let compute () =
+    Resil.Fault_plan.hit ~ident "runner.run";
+    seal ~ident (run_variant ~cfg ~eval_instrs ~train_instrs ~name variant)
+  in
+  memoised ~cache ~key ~ident compute
+
+(* ------------------------------------------------------------------ *)
+(* Sampled evaluation.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sampled_cache_key ~cfg ~eval_instrs ~train_instrs ~sample ~name variant =
+  (* The literal "sampled" tag plus the canonical sample-config string
+     guarantee these digests can never collide with full-run keys, even
+     for identical (cfg, instrs, variant) coordinates. *)
+  match
+    Marshal.to_string
+      (cfg, eval_instrs, train_instrs, name, variant, "sampled",
+       Sample_config.to_string sample)
+      []
+  with
+  | repr -> Digest.string repr
+  | exception Invalid_argument _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Runner.sampled_cache_key: variant for workload %S contains a closure \
+          or other unmarshalable value"
+         name)
+
+let run_variant_sampled ~cfg ~eval_instrs ~train_instrs ~sample ~name variant =
+  let eval_workload = Catalog.make ~input:Workload.Ref ~instrs:eval_instrs name in
+  let eval_trace = Workload.trace eval_workload in
+  match variant with
+  | Ooo ->
+    let cfg = Cpu_config.with_policy Scheduler.Oldest_ready cfg in
+    { sampled_result = Sampler.run ~sample cfg eval_trace; sampled_artifacts = None }
+  | Crisp (thresholds, options) ->
+    (* Profiling/FDO stays full-fidelity — it is the paper's offline
+       software pass, cheap relative to timing simulation; only the
+       timing run is sampled. *)
+    let train_workload = Catalog.make ~input:Workload.Train ~instrs:train_instrs name in
+    let artifacts =
+      Fdo.analyze ~thresholds ~options ~mem_params:cfg.Cpu_config.mem train_workload
+    in
+    let cfg = Cpu_config.with_policy Scheduler.Crisp cfg in
+    let sampled_result =
+      Sampler.run ~criticality:(Fdo.criticality artifacts) ~sample cfg eval_trace
+    in
+    { sampled_result; sampled_artifacts = Some artifacts }
+  | Ibda ibda_cfg ->
+    let result = Ibda.analyze ~mem_params:cfg.Cpu_config.mem ibda_cfg eval_trace in
+    let cfg = Cpu_config.with_policy Scheduler.Crisp cfg in
+    let sampled_result =
+      Sampler.run
+        ~criticality:(Cpu_core.Dynamic_tags (Ibda.is_critical result))
+        ~sample cfg eval_trace
+    in
+    { sampled_result; sampled_artifacts = None }
+
+let evaluate_sampled ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
+    ?(train_instrs = 150_000) ~sample ~name variant =
+  let key = sampled_cache_key ~cfg ~eval_instrs ~train_instrs ~sample ~name variant in
+  let ident =
+    Printf.sprintf "%s/sampled/%s" name (String.sub (Digest.to_hex key) 0 8)
+  in
+  let compute () =
+    Resil.Fault_plan.hit ~ident "runner.run";
+    seal ~ident
+      (run_variant_sampled ~cfg ~eval_instrs ~train_instrs ~sample ~name variant)
+  in
+  memoised ~cache:sampled_cache ~key ~ident compute
 
 let traced ?(cfg = Cpu_config.skylake) ?(eval_instrs = 200_000)
     ?(train_instrs = 150_000) ?tracer ~name variant =

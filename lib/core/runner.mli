@@ -50,6 +50,30 @@ val evaluate :
     raises {!Resil.Supervise.Quarantined_failure} — a corrupt result is
     never returned. *)
 
+type sampled = {
+  sampled_result : Sampler.result;
+  sampled_artifacts : Fdo.artifacts option;  (** CRISP variants only *)
+}
+
+val evaluate_sampled :
+  ?cfg:Cpu_config.t ->
+  ?eval_instrs:int ->
+  ?train_instrs:int ->
+  sample:Sample_config.t ->
+  name:string ->
+  variant ->
+  sampled
+(** {!evaluate} with the timing run replaced by statistical sampling
+    ({!Sampler.run}): CPI and CRISP headline statistics come from the
+    measured windows, as a mean with a 95% confidence interval.  The
+    CRISP profiling/FDO pass and IBDA's online learning stay
+    full-fidelity — only timing simulation is sampled.
+
+    Sampled outcomes are memoised in a dedicated table whose keys embed
+    the canonical sample-config string, so a sampled cell can never be
+    served from (or pollute) a full-fidelity cell with the same
+    coordinates. *)
+
 val traced :
   ?cfg:Cpu_config.t ->
   ?eval_instrs:int ->

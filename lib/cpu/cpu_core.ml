@@ -63,6 +63,7 @@ type state = {
   mutable fdip_idx : int;
   mutable cycle : int;
   mutable retired : int;
+  mutable retire_stop : int;  (* retirement ceiling: exact window boundaries *)
   (* statistics *)
   mutable branches : int;
   mutable branch_mispredicts : int;
@@ -140,7 +141,9 @@ let attribute_head_stall s head =
   | _ -> s.stall_other <- s.stall_other + 1
 
 let rec retire_loop s retired_now =
-  if retired_now >= s.cfg.Cpu_config.retire_width || s.rob_count = 0 then retired_now
+  if retired_now >= s.cfg.Cpu_config.retire_width || s.rob_count = 0
+     || s.retired >= s.retire_stop
+  then retired_now
   else begin
     let head = s.rob_head in
     if s.rob_state.(head) <> st_done then begin
@@ -488,9 +491,21 @@ let rec count_rs_resident s i acc =
     count_rs_resident s (i - 1)
       (if st = st_waiting || st = st_ready then acc + 1 else acc)
 
-let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
+(* Microarchitectural warming state carried through functional
+   fast-forward: the memory hierarchy plus the frontend predictors, and
+   the trace position they have been warmed up to.  [run_window] can
+   adopt these components directly, so a detail window opened after
+   fast-forward starts from warmed state instead of cold tables. *)
+type warm = {
+  wmem : Memory_system.t;
+  wbranch : Branch_warm.t;
+  mutable wpos : int;  (* next dyn index to warm *)
+  mutable wline : int;  (* current icache line, -1 = none *)
+}
+
+let make_state ?(criticality = No_tags) ?layout ?tracer ?warm ~start cfg
+    (trace : Executor.t) =
   let dyns = trace.Executor.dyns in
-  let n = Array.length dyns in
   let static_critical =
     match criticality with
     | Static_tags f -> f
@@ -509,7 +524,16 @@ let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
   in
   let rob_size = cfg.Cpu_config.rob_size in
   let fq_cap = max 32 (cfg.Cpu_config.fetch_width * (cfg.Cpu_config.frontend_depth + 3)) in
-  let mem = Memory_system.create cfg.Cpu_config.mem in
+  let mem, tage, btb, ras =
+    match warm with
+    | Some w -> (w.wmem, w.wbranch.Branch_warm.tage, w.wbranch.Branch_warm.btb,
+                 w.wbranch.Branch_warm.ras)
+    | None ->
+      ( Memory_system.create cfg.Cpu_config.mem,
+        Tage.create (),
+        Btb.create ~entries:cfg.Cpu_config.btb_entries (),
+        Ras.create ~depth:cfg.Cpu_config.ras_depth () )
+  in
   let mem_params = Memory_system.params mem in
   let s =
     { cfg;
@@ -517,9 +541,9 @@ let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
       layout;
       critical_of;
       mem;
-      tage = Tage.create ();
-      btb = Btb.create ~entries:cfg.Cpu_config.btb_entries ();
-      ras = Ras.create ~depth:cfg.Cpu_config.ras_depth ();
+      tage;
+      btb;
+      ras;
       sched =
         Scheduler.create ~seed:cfg.Cpu_config.seed ~slots:cfg.Cpu_config.rs_size
           cfg.Cpu_config.policy;
@@ -548,13 +572,14 @@ let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
       fq_len = 0;
       l1d_latency = mem_params.Memory_system.l1d_latency;
       l1i_latency = mem_params.Memory_system.l1i_latency;
-      fetch_idx = 0;
+      fetch_idx = start;
       fetch_blocked_until = 0;
       waiting_dyn = -1;
       current_line = -1;
-      fdip_idx = 0;
+      fdip_idx = start;
       cycle = 0;
       retired = 0;
+      retire_stop = max_int;
       branches = 0;
       branch_mispredicts = 0;
       btb_misses = 0;
@@ -598,17 +623,17 @@ let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
   (match s.obs with
   | Some tr -> Memory_system.set_tracer s.mem (Some tr)
   | None -> ());
-  let max_cycles =
-    match cfg.Cpu_config.max_cycles with
-    | Some m -> m
-    | None -> (400 * n) + 100_000
-  in
-  while s.retired < n do
+  s
+
+(* Advance the pipeline until [target] instructions (counted from state
+   creation) have retired. *)
+let run_cycles s ~target ~max_cycles =
+  while s.retired < target do
     if s.cycle > max_cycles then
       failwith
         (Printf.sprintf
            "Cpu_core.run: no forward progress (cycle %d, retired %d/%d) — model bug"
-           s.cycle s.retired n);
+           s.cycle s.retired target);
     process_completions s;
     process_mshr_retries s;
     retire s;
@@ -629,19 +654,31 @@ let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
     (match s.sb with
     | Some sb ->
       Scoreboard.check_cycle sb s.sched ~cycle:s.cycle
-        ~rs_resident:(count_rs_resident s (rob_size - 1) 0)
+        ~rs_resident:(count_rs_resident s (s.cfg.Cpu_config.rob_size - 1) 0)
     | None -> ());
     s.cycle <- s.cycle + 1
-  done;
-  let rec count_ops i loads stores =
-    if i = n then (loads, stores)
-    else
-      match dyns.(i).Executor.op with
-      | Isa.Load -> count_ops (i + 1) (loads + 1) stores
-      | Isa.Store -> count_ops (i + 1) loads (stores + 1)
-      | _ -> count_ops (i + 1) loads stores
+  done
+
+(* Loads/stores in the dynamic index range [lo, hi). *)
+let rec count_ops dyns lo hi loads stores =
+  if lo = hi then (loads, stores)
+  else
+    match dyns.(lo).Executor.op with
+    | Isa.Load -> count_ops dyns (lo + 1) hi (loads + 1) stores
+    | Isa.Store -> count_ops dyns (lo + 1) hi loads (stores + 1)
+    | _ -> count_ops dyns (lo + 1) hi loads stores
+
+let run ?criticality ?layout ?tracer cfg (trace : Executor.t) =
+  let dyns = trace.Executor.dyns in
+  let n = Array.length dyns in
+  let s = make_state ?criticality ?layout ?tracer ~start:0 cfg trace in
+  let max_cycles =
+    match cfg.Cpu_config.max_cycles with
+    | Some m -> m
+    | None -> (400 * n) + 100_000
   in
-  let loads, stores = count_ops 0 0 0 in
+  run_cycles s ~target:n ~max_cycles;
+  let loads, stores = count_ops dyns 0 n 0 0 in
   { Cpu_stats.cycles = s.cycle;
     retired = s.retired;
     loads;
@@ -662,4 +699,150 @@ let run ?(criticality = No_tags) ?layout ?tracer cfg (trace : Executor.t) =
     mlp_cycles = s.mlp_cycles;
     critical_retired = s.critical_retired;
     mem = Memory_system.stats s.mem;
+    upc_timeline = Option.map Vec.to_array s.upc_timeline }
+
+(* ------------------------------------------------------------------ *)
+(* Warming (functional fast-forward) and windowed detail simulation.   *)
+(* ------------------------------------------------------------------ *)
+
+let warm_create cfg =
+  { wmem = Memory_system.create cfg.Cpu_config.mem;
+    wbranch =
+      Branch_warm.create ~btb_entries:cfg.Cpu_config.btb_entries
+        ~ras_depth:cfg.Cpu_config.ras_depth;
+    wpos = 0;
+    wline = -1 }
+
+let warm_pos w = w.wpos
+
+let warm_touch w layout (d : Executor.dyn) =
+  (* Mirror the detail fetch stage's icache behaviour: one fetch per
+     distinct consecutive line, not one per micro-op. *)
+  let addr = Layout.addr_of layout d.Executor.pc in
+  let line = addr / line_bytes in
+  if line <> w.wline then begin
+    Memory_system.warm_fetch w.wmem ~addr;
+    w.wline <- line
+  end;
+  Branch_warm.touch w.wbranch d;
+  (match d.Executor.op with
+  | Isa.Load | Isa.Prefetch -> Memory_system.warm_load w.wmem ~addr:d.Executor.addr
+  | Isa.Store -> Memory_system.warm_store w.wmem ~addr:d.Executor.addr
+  | _ -> ());
+  w.wpos <- w.wpos + 1
+
+let warm_checkpoint_magic = "crisp-warm1:"
+
+let warm_checkpoint w =
+  warm_checkpoint_magic
+  ^ Marshal.to_string
+      ( w.wpos,
+        w.wline,
+        Memory_system.checkpoint w.wmem,
+        Branch_warm.checkpoint w.wbranch )
+      []
+
+let warm_restore blob =
+  let n = String.length warm_checkpoint_magic in
+  if String.length blob < n || String.sub blob 0 n <> warm_checkpoint_magic then
+    invalid_arg "Cpu_core.warm_restore: not a warm-state checkpoint";
+  let wpos, wline, mem_blob, branch_blob =
+    (Marshal.from_string blob n : int * int * string * string)
+  in
+  { wmem = Memory_system.restore mem_blob;
+    wbranch = Branch_warm.restore branch_blob;
+    wpos;
+    wline }
+
+(* Cumulative counter snapshot, for expressing a window as a delta. *)
+type counters = {
+  c_cycle : int;
+  c_branches : int;
+  c_branch_mispredicts : int;
+  c_btb_misses : int;
+  c_ras_mispredicts : int;
+  c_stall_dram : int;
+  c_stall_llc : int;
+  c_stall_other_load : int;
+  c_stall_long_op : int;
+  c_stall_other : int;
+  c_mlp_sum_units : int;
+  c_mlp_cycles : int;
+  c_critical_retired : int;
+  c_mem : Memory_system.stats;
+}
+
+let snap_counters s =
+  { c_cycle = s.cycle;
+    c_branches = s.branches;
+    c_branch_mispredicts = s.branch_mispredicts;
+    c_btb_misses = s.btb_misses;
+    c_ras_mispredicts = s.ras_mispredicts;
+    c_stall_dram = s.stall_dram;
+    c_stall_llc = s.stall_llc;
+    c_stall_other_load = s.stall_other_load;
+    c_stall_long_op = s.stall_long_op;
+    c_stall_other = s.stall_other;
+    c_mlp_sum_units = s.mlp_sum_units;
+    c_mlp_cycles = s.mlp_cycles;
+    c_critical_retired = s.critical_retired;
+    c_mem = Memory_system.stats s.mem }
+
+let run_window ?criticality ?layout ?warm ~start ~warmup ~measure cfg
+    (trace : Executor.t) =
+  let dyns = trace.Executor.dyns in
+  let n = Array.length dyns in
+  if start < 0 || start > n then invalid_arg "Cpu_core.run_window: start out of range";
+  if warmup < 0 || measure <= 0 then
+    invalid_arg "Cpu_core.run_window: warmup must be >= 0 and measure > 0";
+  let avail = n - start in
+  let warmup = if warmup < avail then warmup else avail in
+  let target =
+    let t = warmup + measure in
+    if t < avail && t >= 0 (* t < 0 on overflow *) then t else avail
+  in
+  let s = make_state ?criticality ?layout ?warm ~start cfg trace in
+  (* The window's cycle counter starts at zero; state adopted from a warm
+     carrier (or a restored checkpoint) may hold stamps from a previous
+     window's time base, which must not read as in-flight work here. *)
+  (match warm with Some _ -> Memory_system.quiesce s.mem | None -> ());
+  let max_cycles =
+    match cfg.Cpu_config.max_cycles with
+    | Some m -> m
+    | None -> (400 * target) + 100_000
+  in
+  (* Retirement is width-granular; the retire ceiling makes both window
+     boundaries exact, so chunked runs partition the trace with no
+     overlap and stitched counts sum to the full-run counts. *)
+  s.retire_stop <- warmup;
+  run_cycles s ~target:warmup ~max_cycles;
+  let warmed = s.retired in
+  let before = snap_counters s in
+  s.retire_stop <- target;
+  run_cycles s ~target ~max_cycles;
+  (match warm with
+  | Some w ->
+    w.wpos <- start + s.retired;
+    w.wline <- -1
+  | None -> ());
+  let measured = s.retired - warmed in
+  let loads, stores = count_ops dyns (start + warmed) (start + s.retired) 0 0 in
+  { Cpu_stats.cycles = s.cycle - before.c_cycle;
+    retired = measured;
+    loads;
+    stores;
+    branches = s.branches - before.c_branches;
+    branch_mispredicts = s.branch_mispredicts - before.c_branch_mispredicts;
+    btb_misses = s.btb_misses - before.c_btb_misses;
+    ras_mispredicts = s.ras_mispredicts - before.c_ras_mispredicts;
+    head_stalls =
+      { Cpu_stats.dram_load = s.stall_dram - before.c_stall_dram;
+        llc_load = s.stall_llc - before.c_stall_llc;
+        other_load = s.stall_other_load - before.c_stall_other_load;
+        long_op = s.stall_long_op - before.c_stall_long_op;
+        other = s.stall_other - before.c_stall_other };
+    mlp_sum = float_of_int (s.mlp_sum_units - before.c_mlp_sum_units);
+    mlp_cycles = s.mlp_cycles - before.c_mlp_cycles;
+    critical_retired = s.critical_retired - before.c_critical_retired;
+    mem = Memory_system.diff_stats ~after:(Memory_system.stats s.mem) ~before:before.c_mem;
     upc_timeline = Option.map Vec.to_array s.upc_timeline }

@@ -41,3 +41,66 @@ val run :
     @raise Failure if the pipeline fails to make progress within the
     configured cycle budget (indicates a model bug, not a workload
     property). *)
+
+(** {1 Sampled and time-parallel simulation}
+
+    Primitives for the SMARTS-style sampling engines in [lib/sample]:
+    functional fast-forward carries microarchitectural state between
+    detail windows, and checkpoints let one long trace be split into
+    chunks simulated concurrently. *)
+
+type warm
+(** Microarchitectural state carried through functional fast-forward: a
+    memory hierarchy in warming mode plus the TAGE/BTB/RAS predictors,
+    and the trace position they have been warmed up to.  Not
+    thread-safe; each concurrent chunk restores its own copy. *)
+
+val warm_create : Cpu_config.t -> warm
+
+val warm_pos : warm -> int
+(** The next dynamic instruction index to be warmed (advanced by both
+    {!warm_touch} and {!run_window}). *)
+
+val warm_touch : warm -> Layout.t -> Executor.dyn -> unit
+(** Fast-forward over one dynamic micro-op: touch the instruction cache
+    for its fetch line, replay it into the branch predictors, and warm
+    the data hierarchy for its memory access — with no timing model.
+    Must be called in trace order. *)
+
+val warm_checkpoint : warm -> string
+(** Serialise the warm state as an opaque blob.  Restoring yields an
+    independent deep copy, so one checkpoint can seed several concurrent
+    chunk simulations. *)
+
+val warm_restore : string -> warm
+(** @raise Invalid_argument if the blob is not a warm-state
+    checkpoint. *)
+
+val run_window :
+  ?criticality:criticality ->
+  ?layout:Layout.t ->
+  ?warm:warm ->
+  start:int ->
+  warmup:int ->
+  measure:int ->
+  Cpu_config.t ->
+  Executor.t ->
+  Cpu_stats.t
+(** Detail-simulate one sampling unit: start fetching at dynamic index
+    [start], retire [warmup] instructions to absorb the cold-start bias,
+    then measure the next [measure] instructions (both clamped to the
+    end of the trace).  A retirement ceiling makes both boundaries
+    exact — a [chunks]-way split of a trace measures each instruction
+    exactly once — and the returned statistics cover exactly the
+    measured window: [retired] is the measured count, [cycles] the
+    measured-window cycles.
+
+    With [warm] supplied the window adopts its memory hierarchy and
+    predictors in place (quiescing stale absolute-cycle stamps first,
+    since the window's cycle counter restarts at zero) and advances
+    [warm_pos] past the instructions it retired; without it the window
+    starts cold.  [loads]/[stores] count the measured dynamic range, and
+    [mem] is the delta of hierarchy counters over the measured window.
+
+    @raise Invalid_argument if [start] is out of range, [warmup < 0] or
+    [measure <= 0]. *)

@@ -23,6 +23,54 @@ type t = {
   upc_timeline : int array option;
 }
 
+let add a b =
+  { cycles = a.cycles + b.cycles;
+    retired = a.retired + b.retired;
+    loads = a.loads + b.loads;
+    stores = a.stores + b.stores;
+    branches = a.branches + b.branches;
+    branch_mispredicts = a.branch_mispredicts + b.branch_mispredicts;
+    btb_misses = a.btb_misses + b.btb_misses;
+    ras_mispredicts = a.ras_mispredicts + b.ras_mispredicts;
+    head_stalls =
+      { dram_load = a.head_stalls.dram_load + b.head_stalls.dram_load;
+        llc_load = a.head_stalls.llc_load + b.head_stalls.llc_load;
+        other_load = a.head_stalls.other_load + b.head_stalls.other_load;
+        long_op = a.head_stalls.long_op + b.head_stalls.long_op;
+        other = a.head_stalls.other + b.head_stalls.other };
+    mlp_sum = a.mlp_sum +. b.mlp_sum;
+    mlp_cycles = a.mlp_cycles + b.mlp_cycles;
+    critical_retired = a.critical_retired + b.critical_retired;
+    mem = Memory_system.add_stats a.mem b.mem;
+    upc_timeline = None }
+
+let zero =
+  { cycles = 0;
+    retired = 0;
+    loads = 0;
+    stores = 0;
+    branches = 0;
+    branch_mispredicts = 0;
+    btb_misses = 0;
+    ras_mispredicts = 0;
+    head_stalls = { dram_load = 0; llc_load = 0; other_load = 0; long_op = 0; other = 0 };
+    mlp_sum = 0.;
+    mlp_cycles = 0;
+    critical_retired = 0;
+    mem =
+      { Memory_system.l1d_hits = 0;
+        l1d_misses = 0;
+        llc_hits = 0;
+        llc_misses = 0;
+        l1i_hits = 0;
+        l1i_misses = 0;
+        dram_requests = 0;
+        dram_row_hits = 0;
+        prefetches_issued = 0;
+        prefetch_hits_l1d = 0;
+        prefetch_hits_llc = 0 };
+    upc_timeline = None }
+
 let ipc t = if t.cycles = 0 then 0. else float_of_int t.retired /. float_of_int t.cycles
 
 let upc = ipc

@@ -28,6 +28,14 @@ type t = {
   upc_timeline : int array option;  (** per-cycle retirement counts *)
 }
 
+val add : t -> t -> t
+(** Field-wise sum — the stitch-up of per-window or per-chunk statistics
+    from sampled / time-parallel simulation.  [upc_timeline] does not
+    stitch (windows have disjoint time bases) and is dropped. *)
+
+val zero : t
+(** Identity for {!add}. *)
+
 val ipc : t -> float
 val upc : t -> float
 (** Identical to {!ipc} in this model (one micro-op per instruction); kept

@@ -67,12 +67,21 @@ let add t ~now ~cycle data =
   end;
   t.pending <- t.pending + 1
 
-(* Overflow scan: return the payload of the last bucket entry due at
-   [cycle], compacting order-preservingly, or -1.  The bucket is nearly
-   always empty; entries due this cycle are rarer still. *)
+(* Overflow scan: return the payload of the last bucket entry due at or
+   before [cycle], compacting order-preservingly, or -1.  The bucket is
+   nearly always empty; entries due this cycle are rarer still.
+
+   Due means [<= cycle], not [= cycle]: under the drain-every-cycle
+   contract the two are equivalent (an entry is popped on the cycle it
+   falls due), but a consumer whose cycle counter {e jumps} — a restored
+   checkpoint rebasing time, a window that fast-forwards past a quiet
+   region — would strand an exact-match entry forever: its due cycle is
+   skipped, [pending] never reaches zero, and the core's forward-progress
+   guard trips.  Overdue entries are instead delivered at the first pop
+   that reaches them. *)
 let rec pop_overflow t ~cycle i =
   if i < 0 then -1
-  else if t.ov_cycle.(i) = cycle then begin
+  else if t.ov_cycle.(i) <= cycle then begin
     let data = t.ov_data.(i) in
     (* shift the tail down one to keep insertion order *)
     let tail = t.ov_len - i - 1 in
@@ -99,3 +108,14 @@ let pop t ~cycle =
     data
   end
   else -1
+
+(* Drop every scheduled event.  A checkpoint restore rebuilds the
+   calendar from scratch at a new time origin; clearing (rather than
+   recreating) keeps the grown slot vectors, so a restored run stays
+   allocation-free.  Ring slots hold no cycle stamps — only the overflow
+   bucket does — so after [clear] the wheel is indistinguishable from a
+   fresh one at any [now]. *)
+let clear t =
+  Array.fill t.slot_len 0 t.horizon 0;
+  t.ov_len <- 0;
+  t.pending <- 0

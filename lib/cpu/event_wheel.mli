@@ -20,9 +20,19 @@ val add : t -> now:int -> cycle:int -> int -> unit
 (** Schedule payload [data >= 0] for [cycle > now]. *)
 
 val pop : t -> cycle:int -> int
-(** Next payload due at exactly [cycle], or [-1] when none remain.  Events
-    of one cycle are delivered newest-first (LIFO), matching the
-    prepend-then-iterate order of the Hashtbl calendar it replaces. *)
+(** Next payload due at [cycle], or [-1] when none remain.  Events of one
+    cycle are delivered newest-first (LIFO), matching the
+    prepend-then-iterate order of the Hashtbl calendar it replaces.
+    Overflow-bucket entries whose due cycle has already passed are also
+    delivered (late) rather than stranded: a consumer that honours the
+    drain-every-cycle contract never observes the difference, but one
+    whose cycle counter jumps — e.g. resuming from a restored checkpoint —
+    must not leave [pending] events unreachable. *)
+
+val clear : t -> unit
+(** Drop all scheduled events (ring slots and overflow bucket), keeping
+    the allocated slot capacity.  Used when a checkpoint restore rebuilds
+    the completion calendar at a new time origin. *)
 
 val pending : t -> int
 (** Events scheduled and not yet popped. *)

@@ -73,6 +73,10 @@ let request t ~cycle ~addr =
   bank.busy_until <- data_ready;
   completion
 
+let quiesce t =
+  Array.iter (fun bank -> bank.busy_until <- 0) t.bank_state;
+  t.bus_busy_until <- 0
+
 let requests t = t.requests
 let row_hits t = t.row_hits
 let row_conflicts t = t.row_conflicts

@@ -30,6 +30,14 @@ val request : t -> cycle:int -> addr:int -> int
     to FCFS under in-order issue per bank), with row-hit/row-miss/row-
     conflict timing and data-bus serialisation. *)
 
+val quiesce : t -> unit
+(** Zero every absolute-cycle stamp (per-bank [busy_until] and the shared
+    bus) while keeping open rows and statistics.  Called between detail
+    windows of a sampled run, whose cycle counters restart at zero: a
+    stale stamp from a previous window's time base would otherwise read
+    as queueing delay.  Row-buffer locality deliberately survives — open
+    rows are cache-like state, not time-like state. *)
+
 val requests : t -> int
 val row_hits : t -> int
 val row_conflicts : t -> int

@@ -46,13 +46,32 @@ let connect ?(connect_timeout = 10.) ?io_timeout ~socket () =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+(* A failed send usually means the daemon hung up on purpose — and its
+   terminating verdict (Overloaded shed, Draining) may already sit in
+   our receive buffer, written just before the close that broke our
+   write.  Prefer that verdict over a bare EPIPE: it carries the backoff
+   hint and keeps the shed path deterministic for clients that lose the
+   write/close race. *)
+let send_failed t cause =
+  (match
+     Farm_frame.read_fd ~idle_timeout:0.25 ~io_timeout:0.25 t.fd
+   with
+  | `Frame payload -> (
+    match P.decode_response payload with
+    | Ok (P.Overloaded { retry_after_ms }) -> raise (Overloaded retry_after_ms)
+    | Ok P.Draining -> lost "daemon is draining; reconnect later"
+    | Ok _ | Error _ -> ())
+  | `Eof | `Idle_timeout | `Timeout | `Abort -> ()
+  | exception Farm_frame.Frame_error _ -> ()
+  | exception Unix.Unix_error _ -> ());
+  lost "connection lost while sending: %s" cause
+
 let send t req =
   try Farm_frame.write_fd ?io_timeout:t.io_timeout t.fd (P.encode_request req)
   with
   | Farm_frame.Io_timeout msg -> lost "send timed out: %s" msg
-  | Unix.Unix_error (e, _, _) ->
-    lost "connection lost while sending: %s" (Unix.error_message e)
-  | Sys_error msg -> lost "connection lost while sending: %s" msg
+  | Unix.Unix_error (e, _, _) -> send_failed t (Unix.error_message e)
+  | Sys_error msg -> send_failed t msg
 
 (* Waiting for the daemon's *next* frame is unbounded — cells take as
    long as they take to simulate — but once a frame has started it must
@@ -121,12 +140,15 @@ let contains ~sub s =
   let rec go i = i + n <= len && (String.sub s i n = sub || go (i + 1)) in
   go 0
 
-let run_grid t ?id ~(spec : Grid.spec) ~eval_instrs ~train_instrs () =
+let run_grid t ?id ?sample ~(spec : Grid.spec) ~eval_instrs ~train_instrs () =
   t.req_counter <- t.req_counter + 1;
   let id =
     match id with
     | Some id -> id
     | None -> Printf.sprintf "%s-%d-%d" spec.tag (Unix.getpid ()) t.req_counter
+  in
+  let sample =
+    match sample with None -> "" | Some s -> Sample_config.to_string s
   in
   send t
     (P.Run_grid
@@ -136,7 +158,8 @@ let run_grid t ?id ~(spec : Grid.spec) ~eval_instrs ~train_instrs () =
          eval_instrs;
          train_instrs;
          names = spec.names;
-         columns = spec.columns });
+         columns = spec.columns;
+         sample });
   let nrows = List.length spec.names and ncols = List.length spec.columns in
   let matrix = Array.make_matrix nrows ncols Float.nan in
   let filled = Array.make_matrix nrows ncols false in
@@ -206,7 +229,7 @@ let cause_of = function
   | Resil.Fault_plan.Injected site -> "injected fault at " ^ site
   | e -> Printexc.to_string e
 
-let run_grid_retrying ~socket ?(retry = default_retry) ?id
+let run_grid_retrying ~socket ?(retry = default_retry) ?id ?sample
     ~(spec : Grid.spec) ~eval_instrs ~train_instrs () =
   (* One id for every attempt: the daemon memoizes and journals cells by
      canonical key, so a re-sent request streams already-finished cells
@@ -229,7 +252,7 @@ let run_grid_retrying ~socket ?(retry = default_retry) ?id
         Fun.protect
           ~finally:(fun () -> close t)
           (fun () ->
-            match run_grid t ~id ~spec ~eval_instrs ~train_instrs () with
+            match run_grid t ~id ?sample ~spec ~eval_instrs ~train_instrs () with
             | r -> Ok r
             | exception (Disconnected _ as e) -> Error (e, None)
             | exception (Overloaded ms as e) -> Error (e, Some ms))

@@ -61,9 +61,12 @@ type grid_result = {
 }
 
 val run_grid :
-  t -> ?id:string -> spec:Grid.spec -> eval_instrs:int -> train_instrs:int ->
-  unit -> grid_result
-(** Submit the grid and block until its summary frame arrives.
+  t -> ?id:string -> ?sample:Sample_config.t -> spec:Grid.spec ->
+  eval_instrs:int -> train_instrs:int -> unit -> grid_result
+(** Submit the grid and block until its summary frame arrives.  With
+    [sample] set, the daemon runs Gain cells as sampled (interval-CPI)
+    simulations; sampled cells live under their own memo and journal
+    keys, so mixed sampled/full traffic never collides.
     @raise Farm_error if a frame is out of range, any cell never
     arrives, the summary echoes a different request id, or the daemon
     rejects the request at admission (budget sanity, grid-spec shape,
@@ -86,8 +89,9 @@ val default_retry : retry
     no per-frame deadline. *)
 
 val run_grid_retrying :
-  socket:string -> ?retry:retry -> ?id:string -> spec:Grid.spec ->
-  eval_instrs:int -> train_instrs:int -> unit -> grid_result * int
+  socket:string -> ?retry:retry -> ?id:string -> ?sample:Sample_config.t ->
+  spec:Grid.spec -> eval_instrs:int -> train_instrs:int -> unit ->
+  grid_result * int
 (** Open a fresh connection per attempt and re-submit the {e same}
     request (same id) until it completes, sleeping the deterministic
     {!Resil.Backoff} schedule — or the server's [retry_after_ms] hint

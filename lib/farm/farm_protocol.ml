@@ -8,6 +8,10 @@ type grid_req = {
   train_instrs : int;
   names : string list;
   columns : Grid.column list;
+  sample : string;
+      (* canonical Sample_config string, "" = full-fidelity; omitted from
+         the wire when empty so full-run frames are byte-identical to the
+         pre-sampling protocol *)
 }
 
 type request =
@@ -36,6 +40,7 @@ type farm_stats = {
   pool : Exec.Pool.stats;
   journal_cells : int;
   requests_served : int;
+  sampled_cells : int;  (* lifetime count of cells served from sampled runs *)
 }
 
 type summary = {
@@ -45,6 +50,7 @@ type summary = {
   memo_hits : int;
   journal_hits : int;
   degraded : int;
+  sample : string;  (* the request's sample config, "" = full-fidelity *)
   farm : farm_stats;
 }
 
@@ -116,7 +122,13 @@ let json_of_farm_stats s =
     [ ("memo", json_of_memo_stats s.memo);
       ("pool", json_of_pool_stats s.pool);
       ("journal_cells", J.num_int s.journal_cells);
-      ("requests_served", J.num_int s.requests_served) ]
+      ("requests_served", J.num_int s.requests_served);
+      ("sampled_cells", J.num_int s.sampled_cells) ]
+
+(* A sample string travels only when non-empty, keeping full-fidelity
+   frames byte-identical to the pre-sampling protocol (and old-daemon
+   replies decodable). *)
+let sample_field sample rest = if sample = "" then rest else ("sample", J.Str sample) :: rest
 
 let encode_request req =
   let obj =
@@ -133,6 +145,7 @@ let encode_request req =
         ("train_instrs", J.num_int g.train_instrs);
         ("names", J.Arr (List.map (fun n -> J.Str n) g.names));
         ("columns", J.Arr (List.map json_of_column g.columns)) ]
+      @ sample_field g.sample []
   in
   J.to_string (J.Obj obj)
 
@@ -163,8 +176,8 @@ let encode_response resp =
         ("computed", J.num_int s.computed);
         ("memo_hits", J.num_int s.memo_hits);
         ("journal_hits", J.num_int s.journal_hits);
-        ("degraded", J.num_int s.degraded);
-        ("stats", json_of_farm_stats s.farm) ]
+        ("degraded", J.num_int s.degraded) ]
+      @ sample_field s.sample [ ("stats", json_of_farm_stats s.farm) ]
     | Invalid_request { req_id; reason; diags } ->
       [ ("resp", J.Str "invalid");
         ("id", J.Str req_id);
@@ -241,7 +254,16 @@ let farm_stats_of_json j =
   { memo = memo_stats_of_json (field "memo" j);
     pool = pool_stats_of_json (field "pool" j);
     journal_cells = int ~what:"journal_cells" (field "journal_cells" j);
-    requests_served = int ~what:"requests_served" (field "requests_served" j) }
+    requests_served = int ~what:"requests_served" (field "requests_served" j);
+    sampled_cells =
+      (match opt_field "sampled_cells" j with
+      | Some v -> int ~what:"sampled_cells" v
+      | None -> 0) }
+
+let sample_of_json j =
+  match opt_field "sample" j with
+  | Some v -> str ~what:"sample" v
+  | None -> ""
 
 let parse ~what payload k =
   match J.parse payload with
@@ -270,7 +292,8 @@ let decode_request payload =
             names =
               List.map (str ~what:"names[]") (arr ~what:"names" (field "names" j));
             columns =
-              List.map column_of_json (arr ~what:"columns" (field "columns" j)) }
+              List.map column_of_json (arr ~what:"columns" (field "columns" j));
+            sample = sample_of_json j }
       | other -> bad "unknown request kind %S" other)
 
 let decode_response payload =
@@ -308,6 +331,7 @@ let decode_response payload =
             memo_hits = int ~what:"memo_hits" (field "memo_hits" j);
             journal_hits = int ~what:"journal_hits" (field "journal_hits" j);
             degraded = int ~what:"degraded" (field "degraded" j);
+            sample = sample_of_json j;
             farm = farm_stats_of_json (field "stats" j) }
       | "invalid" ->
         Invalid_request

@@ -27,6 +27,12 @@ type grid_req = {
   train_instrs : int;
   names : string list;  (** row order of the reply *)
   columns : Grid.column list;  (** column order of the reply *)
+  sample : string;
+      (** canonical {!Sample_config.to_string} form to run the grid's
+          Gain cells sampled, or [""] for full fidelity.  Validated by
+          the admission gate; omitted from the wire when empty, so
+          full-run requests are byte-identical to the pre-sampling
+          protocol. *)
 }
 
 type request =
@@ -57,6 +63,9 @@ type farm_stats = {
   pool : Exec.Pool.stats;
   journal_cells : int;  (** validated entries in the cell journal *)
   requests_served : int;  (** grid requests completed since daemon start *)
+  sampled_cells : int;
+      (** cells served from sampled (interval-CPI) runs since daemon
+          start; decodes as [0] from pre-sampling daemons *)
 }
 
 type summary = {
@@ -66,6 +75,7 @@ type summary = {
   memo_hits : int;
   journal_hits : int;
   degraded : int;
+  sample : string;  (** echo of {!grid_req.sample}; [""] = full fidelity *)
   farm : farm_stats;
 }
 

@@ -42,6 +42,7 @@ type t = {
   lint_cache : (string, string list) Hashtbl.t;
   lint_mutex : Mutex.t;
   requests_served : int Atomic.t;
+  sampled_cells : int Atomic.t;
   conns : int Atomic.t;
   stop_flag : bool Atomic.t;
   (* Atomic, not mutable: {!stop} reads it from arbitrary threads (and
@@ -106,6 +107,7 @@ let create cfg =
     lint_cache = Hashtbl.create 32;
     lint_mutex = Mutex.create ();
     requests_served = Atomic.make served;
+    sampled_cells = Atomic.make 0;
     conns = Atomic.make 0;
     stop_flag = Atomic.make false;
     listen_fd = Atomic.make None }
@@ -121,7 +123,8 @@ let stats t =
       (match t.cells_journal with
       | Some j -> with_journals t (fun () -> Resil.Journal.size j)
       | None -> 0);
-    requests_served = Atomic.get t.requests_served }
+    requests_served = Atomic.get t.requests_served;
+    sampled_cells = Atomic.get t.sampled_cells }
 
 (* ----- cells ----- *)
 
@@ -129,8 +132,8 @@ let stats t =
 let payload_of_value v = Printf.sprintf "%h" v
 let value_of_payload s = float_of_string_opt s
 
-let cell_key ~eval_instrs ~train_instrs ~metric ~name (c : Grid.column) =
-  Printf.sprintf "cell/%s/%s/%s/%s/%s/e%d/t%d" name
+let cell_key ?sample ~eval_instrs ~train_instrs ~metric ~name (c : Grid.column) =
+  Printf.sprintf "cell/%s/%s/%s/%s/%s/e%d/t%d%s" name
     (Grid.metric_to_string metric)
     c.variant
     (match c.threshold with
@@ -140,6 +143,13 @@ let cell_key ~eval_instrs ~train_instrs ~metric ~name (c : Grid.column) =
     | None -> "wdef"
     | Some (rs, rob) -> Printf.sprintf "w%dx%d" rs rob)
     eval_instrs train_instrs
+    (* Full-run keys stay byte-identical to the pre-sampling daemon, so
+       existing cell journals keep validating; sampled keys carry the
+       canonical config so sampled and full cells can never share a
+       memo entry or journal line. *)
+    (match sample with
+    | None -> ""
+    | Some s -> "/sampled/" ^ Sample_config.to_string s)
 
 let journal_restore t key =
   match t.cells_journal with
@@ -175,8 +185,8 @@ let journal_checkpoint t key v =
 (* Acquire one cell: journal hit, live/completed memo entry, or a fresh
    supervised spawn.  [find_or_run]'s thunk runs at most once per key at
    a time, so [fresh] tells us whether *we* created the handle. *)
-let acquire t ~metric ~eval_instrs ~train_instrs ~name column =
-  let key = cell_key ~eval_instrs ~train_instrs ~metric ~name column in
+let acquire t ?sample ~metric ~eval_instrs ~train_instrs ~name column =
+  let key = cell_key ?sample ~eval_instrs ~train_instrs ~metric ~name column in
   let fresh = ref None in
   let handle =
     Exec.Memo.find_or_run t.cells key (fun () ->
@@ -197,9 +207,11 @@ let acquire t ~metric ~eval_instrs ~train_instrs ~name column =
               Resil.Log.record (Resil.Log.Degraded { ident = key; error = reason });
               log t "degraded %s: %s" key reason)
             (fun () ->
-              Grid.cell_value ~eval_instrs ~train_instrs ~name ~metric column))
+              Grid.cell_value ?sample ~eval_instrs ~train_instrs ~name ~metric
+                column))
   in
   let source = match !fresh with Some s -> s | None -> P.Memo_hit in
+  if sample <> None then Atomic.incr t.sampled_cells;
   (key, source, handle)
 
 (* ----- grid requests ----- *)
@@ -262,23 +274,29 @@ let admit t (g : P.grid_req) =
   else if g.train_instrs < 1 || g.train_instrs > max_cell_instrs then
     Error (bad_budget "train_instrs" g.train_instrs, [])
   else
-    match Grid.validate (spec_of_req g) with
-    | Error msg -> Error ("malformed grid spec: " ^ msg, [])
-    | Ok () -> (
-      (* validate already pinned every name to the catalog *)
-      let failing =
-        List.filter_map
-          (fun name ->
-            match lint_findings t name with [] -> None | ds -> Some (name, ds))
-          (List.sort_uniq compare g.names)
-      in
-      match failing with
-      | [] -> Ok ()
-      | _ ->
-        Error
-          ( Printf.sprintf "%d workload(s) fail the crisp-check lint"
-              (List.length failing),
-            List.concat_map snd failing ))
+    match
+      if g.sample = "" then Ok None
+      else Result.map Option.some (Sample_config.of_string g.sample)
+    with
+    | Error msg -> Error ("malformed sample config: " ^ msg, [])
+    | Ok sample -> (
+      match Grid.validate (spec_of_req g) with
+      | Error msg -> Error ("malformed grid spec: " ^ msg, [])
+      | Ok () -> (
+        (* validate already pinned every name to the catalog *)
+        let failing =
+          List.filter_map
+            (fun name ->
+              match lint_findings t name with [] -> None | ds -> Some (name, ds))
+            (List.sort_uniq compare g.names)
+        in
+        match failing with
+        | [] -> Ok sample
+        | _ ->
+          Error
+            ( Printf.sprintf "%d workload(s) fail the crisp-check lint"
+                (List.length failing),
+              List.concat_map snd failing )))
 
 (* Pool-pressure admission: refuse new grids while the shared queue is
    deeper than the configured cap, so a flood of concurrent grids sheds
@@ -293,7 +311,8 @@ let serve_grid t ~send (g : P.grid_req) =
   | Error (reason, diags) ->
     log t "rejecting grid %s (%s): %s" g.tag g.id reason;
     send (P.Invalid_request { req_id = g.id; reason; diags })
-  | Ok () ->
+  | Ok sample ->
+    if sample <> None then log t "grid %s (%s) runs sampled: %s" g.tag g.id g.sample;
     let names = Array.of_list g.names in
     let columns = Array.of_list g.columns in
     let nrows = Array.length names and ncols = Array.length columns in
@@ -304,7 +323,7 @@ let serve_grid t ~send (g : P.grid_req) =
           (fun c column ->
             acquired.(r).(c) <-
               Some
-                (acquire t ~metric:g.metric ~eval_instrs:g.eval_instrs
+                (acquire t ?sample ~metric:g.metric ~eval_instrs:g.eval_instrs
                    ~train_instrs:g.train_instrs ~name:names.(r) column))
           columns)
       (row_order g.names);
@@ -350,6 +369,7 @@ let serve_grid t ~send (g : P.grid_req) =
            memo_hits = !memo_hits;
            journal_hits = !journal_hits;
            degraded = !degraded;
+           sample = g.sample;
            farm = stats t })
 
 (* ----- connections ----- *)

@@ -285,6 +285,47 @@ let fetch_functional t ~addr =
     | `Hit | `Hit_prefetched -> Llc
     | `Miss -> Mem)
 
+(* ------------------------------------------------------------------ *)
+(* Warming touch mode: the fast-forward path of sampled simulation.
+   Each touch updates cache contents, replacement state and prefetcher
+   training exactly like the functional interface — and nothing else: no
+   MSHR occupancy, no DRAM timing, no tracer events.  Prefetch fills
+   issued during warming charge [Dram.request] at cycle 0, which only
+   perturbs stamps that [quiesce] clears before the next detail window. *)
+
+let warm_load t ~addr = ignore (load_functional t ~addr)
+
+let warm_store t ~addr =
+  (* Write-allocate, as at retirement; no tracer, no timing. *)
+  if not (Cache.probe t.l1d ~addr) then ignore (Cache.access_info t.llc ~addr);
+  ignore (Cache.access_info t.l1d ~addr)
+
+let warm_fetch t ~addr = ignore (fetch_functional t ~addr)
+
+(* Absolute-cycle state: MSHR ready stamps (a slot is live iff its ready
+   cycle is in the future) and the DRAM bank/bus stamps.  Everything else
+   in the hierarchy is content- or LRU-state, valid under any time base. *)
+let quiesce t =
+  Array.fill t.d_line 0 (Array.length t.d_line) (-1);
+  Array.fill t.d_ready 0 (Array.length t.d_ready) 0;
+  Array.fill t.i_line 0 (Array.length t.i_line) (-1);
+  Array.fill t.i_ready 0 (Array.length t.i_ready) 0;
+  Dram.quiesce t.dram
+
+let checkpoint_magic = "crisp-msys1:"
+
+let checkpoint t =
+  (* The tracer is the one non-data field; a checkpoint never carries
+     it.  Every other component is plain mutable records and arrays, so
+     the structural marshal is a faithful deep snapshot. *)
+  checkpoint_magic ^ Marshal.to_string { t with tracer = None } []
+
+let restore blob =
+  let n = String.length checkpoint_magic in
+  if String.length blob < n || String.sub blob 0 n <> checkpoint_magic then
+    invalid_arg "Memory_system.restore: not a memory-system checkpoint";
+  (Marshal.from_string blob n : t)
+
 type stats = {
   l1d_hits : int;
   l1d_misses : int;
@@ -298,6 +339,32 @@ type stats = {
   prefetch_hits_l1d : int;
   prefetch_hits_llc : int;
 }
+
+let diff_stats ~(after : stats) ~(before : stats) =
+  { l1d_hits = after.l1d_hits - before.l1d_hits;
+    l1d_misses = after.l1d_misses - before.l1d_misses;
+    llc_hits = after.llc_hits - before.llc_hits;
+    llc_misses = after.llc_misses - before.llc_misses;
+    l1i_hits = after.l1i_hits - before.l1i_hits;
+    l1i_misses = after.l1i_misses - before.l1i_misses;
+    dram_requests = after.dram_requests - before.dram_requests;
+    dram_row_hits = after.dram_row_hits - before.dram_row_hits;
+    prefetches_issued = after.prefetches_issued - before.prefetches_issued;
+    prefetch_hits_l1d = after.prefetch_hits_l1d - before.prefetch_hits_l1d;
+    prefetch_hits_llc = after.prefetch_hits_llc - before.prefetch_hits_llc }
+
+let add_stats a b =
+  { l1d_hits = a.l1d_hits + b.l1d_hits;
+    l1d_misses = a.l1d_misses + b.l1d_misses;
+    llc_hits = a.llc_hits + b.llc_hits;
+    llc_misses = a.llc_misses + b.llc_misses;
+    l1i_hits = a.l1i_hits + b.l1i_hits;
+    l1i_misses = a.l1i_misses + b.l1i_misses;
+    dram_requests = a.dram_requests + b.dram_requests;
+    dram_row_hits = a.dram_row_hits + b.dram_row_hits;
+    prefetches_issued = a.prefetches_issued + b.prefetches_issued;
+    prefetch_hits_l1d = a.prefetch_hits_l1d + b.prefetch_hits_l1d;
+    prefetch_hits_llc = a.prefetch_hits_llc + b.prefetch_hits_llc }
 
 let stats t =
   { l1d_hits = Cache.hits t.l1d;

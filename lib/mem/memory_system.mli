@@ -96,6 +96,40 @@ val outstanding_misses : t -> cycle:int -> int
 val load_functional : t -> addr:int -> level
 val fetch_functional : t -> addr:int -> level
 
+(** {1 Warming interface}
+
+    The fast-forward touch mode of sampled simulation: each touch updates
+    cache contents, replacement state and prefetcher training exactly as
+    the functional interface would — and nothing else.  No MSHR
+    occupancy, no DRAM contention, no tracer events, no return value: the
+    caller is skipping time, not modelling it. *)
+
+val warm_load : t -> addr:int -> unit
+val warm_store : t -> addr:int -> unit
+val warm_fetch : t -> addr:int -> unit
+
+val quiesce : t -> unit
+(** Clear every absolute-cycle stamp: demand and instruction MSHR files
+    (all slots become implicitly free) and the DRAM bank/bus busy times.
+    Cache contents, LRU state, prefetcher training and statistics are
+    untouched.  A detail window whose cycle counter restarts at zero must
+    quiesce first, or stamps from the previous window's time base read as
+    in-flight misses and queueing delay. *)
+
+(** {1 Checkpointing} *)
+
+val checkpoint : t -> string
+(** Serialise the complete hierarchy state — caches, prefetchers, DRAM,
+    MSHR files, statistics — as an opaque blob (the tracer attachment is
+    not captured).  The blob is self-contained: restoring it yields an
+    independent deep copy, so one captured state can seed several
+    concurrent chunk simulations. *)
+
+val restore : string -> t
+(** Rebuild a hierarchy from a {!checkpoint} blob (no tracer attached).
+    @raise Invalid_argument if the blob is not a memory-system
+    checkpoint. *)
+
 (** {1 Statistics} *)
 
 type stats = {
@@ -113,3 +147,10 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val diff_stats : after:stats -> before:stats -> stats
+(** Field-wise [after - before]: the activity of a window bracketed by
+    two {!stats} snapshots (the counters are cumulative). *)
+
+val add_stats : stats -> stats -> stats
+(** Field-wise sum: stitching per-chunk statistics back together. *)

@@ -265,6 +265,13 @@ let gen_column =
   let* window = opt (pair (int_range 1 512) (int_range 1 1024)) in
   return { Grid.label; variant; threshold; window }
 
+(* "" (full fidelity, omitted from the wire) plus canonical sampled
+   configs as {!Sample_config.to_string} prints them. *)
+let gen_sample =
+  QCheck.Gen.oneofl
+    [ ""; "units=30,unit=1000,warmup=2000";
+      "units=8,unit=500,warmup=1000,ci=0.01" ]
+
 let gen_request =
   let open QCheck.Gen in
   oneof
@@ -280,9 +287,11 @@ let gen_request =
        let* train_instrs = int_range 0 1_000_000 in
        let* names = list_size (int_range 0 6) gen_name in
        let* columns = list_size (int_range 0 6) gen_column in
+       let* sample = gen_sample in
        return
          (Farm_protocol.Run_grid
-            { id; tag; metric; eval_instrs; train_instrs; names; columns })) ]
+            { id; tag; metric; eval_instrs; train_instrs; names; columns;
+              sample })) ]
 
 let gen_memo_stats =
   let open QCheck.Gen in
@@ -300,7 +309,9 @@ let gen_farm_stats =
   let open QCheck.Gen in
   let* memo = gen_memo_stats and* pool = gen_pool_stats in
   let* journal_cells = small_nat and* requests_served = small_nat in
-  return { Farm_protocol.memo; pool; journal_cells; requests_served }
+  let* sampled_cells = small_nat in
+  return
+    { Farm_protocol.memo; pool; journal_cells; requests_served; sampled_cells }
 
 let gen_response =
   let open QCheck.Gen in
@@ -339,9 +350,11 @@ let gen_response =
        let* cells = small_nat and* computed = small_nat in
        let* memo_hits = small_nat and* journal_hits = small_nat in
        let* degraded = small_nat and* farm = gen_farm_stats in
+       let* sample = gen_sample in
        return
          (Farm_protocol.Summary
-            { req_id; cells; computed; memo_hits; journal_hits; degraded; farm }))
+            { req_id; cells; computed; memo_hits; journal_hits; degraded;
+              sample; farm }))
     ]
 
 let prop_request_roundtrip =
@@ -417,6 +430,45 @@ let test_decode_rejects_garbage () =
      \"eval_instrs\":1,\"train_instrs\":1,\"names\":[],\
      \"columns\":[{\"label\":\"l\",\"variant\":\"crisp\",\"window\":[1]}]}"
     Farm_protocol.decode_request
+
+(* Full-fidelity frames must be byte-identical to the pre-sampling
+   protocol: the sample field only travels when non-empty, and a
+   pre-sampling daemon's frames (no sample, no sampled_cells) still
+   decode. *)
+let test_sample_wire_compat () =
+  let req sample =
+    Farm_protocol.Run_grid
+      { id = "i"; tag = "t"; metric = Grid.Gain; eval_instrs = 1;
+        train_instrs = 1; names = [ "xz" ]; columns = []; sample }
+  in
+  let contains ~sub s =
+    let n = String.length sub and len = String.length s in
+    let rec go i = i + n <= len && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let full = Farm_protocol.encode_request (req "") in
+  check bool "full-run request carries no sample key" false
+    (contains ~sub:"sample" full);
+  let sampled =
+    Farm_protocol.encode_request (req "units=30,unit=1000,warmup=2000")
+  in
+  check bool "sampled request carries the config" true
+    (contains ~sub:"units=30,unit=1000,warmup=2000" sampled);
+  (match Farm_protocol.decode_request sampled with
+  | Ok (Farm_protocol.Run_grid g) ->
+    check string "config round-trips" "units=30,unit=1000,warmup=2000"
+      g.Farm_protocol.sample
+  | Ok _ | Error _ -> Alcotest.fail "sampled request did not decode");
+  (* A pre-sampling peer's frames decode with the defaults. *)
+  match
+    Farm_protocol.decode_request
+      "{\"req\":\"grid\",\"id\":\"i\",\"tag\":\"t\",\"metric\":\"gain\",\
+       \"eval_instrs\":1,\"train_instrs\":1,\"names\":[],\"columns\":[]}"
+  with
+  | Ok (Farm_protocol.Run_grid g) ->
+    check string "absent sample decodes as full fidelity" ""
+      g.Farm_protocol.sample
+  | Ok _ | Error _ -> Alcotest.fail "pre-sampling request did not decode"
 
 (* ---------------- end-to-end daemon ---------------- *)
 
@@ -627,6 +679,46 @@ let test_daemon_rejects_inadmissible_grids () =
   check int "no request reached the runner" 0
     (Farm_server.stats srv).Farm_protocol.requests_served;
   Farm_client.ping c
+
+(* Sampled and full runs of the same grid must never share memo keys: a
+   sampled run issued right after a full run recomputes every cell, the
+   daemon counts it, and the summary echoes the canonical config — while
+   a sampled rerun hits the sampled entries. *)
+let test_daemon_sampled_cells_distinct () =
+  Runner.clear_cache ();
+  let sample =
+    match Sample_config.of_string "units=6,unit=500,warmup=1000" with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "sample config rejected: %s" msg
+  in
+  with_server ~workers:1 @@ fun ~socket ~srv ->
+  let run ?sample () =
+    let c = connect socket in
+    Fun.protect
+      ~finally:(fun () -> Farm_client.close c)
+      (fun () ->
+        Farm_client.run_grid c ?sample ~spec:grid_b ~eval_instrs:small_eval
+          ~train_instrs:small_train ())
+  in
+  let full = run () in
+  check int "full run computes all cells" 3
+    full.Farm_client.summary.Farm_protocol.computed;
+  check string "full summary carries no sample config" ""
+    full.Farm_client.summary.Farm_protocol.sample;
+  check int "full run counts no sampled cells" 0
+    (Farm_server.stats srv).Farm_protocol.sampled_cells;
+  let sampled = run ~sample () in
+  check int "sampled run shares nothing with the full cells" 3
+    sampled.Farm_client.summary.Farm_protocol.computed;
+  check string "summary echoes the canonical sample config"
+    (Sample_config.to_string sample)
+    sampled.Farm_client.summary.Farm_protocol.sample;
+  check int "daemon counted the sampled cells" 3
+    (Farm_server.stats srv).Farm_protocol.sampled_cells;
+  (* A sampled rerun is served from the sampled memo entries. *)
+  let again = run ~sample () in
+  check int "sampled rerun recomputes nothing" 0
+    again.Farm_client.summary.Farm_protocol.computed
 
 (* ---------------- lifecycle: shedding, eviction, drain ---------------- *)
 
@@ -919,7 +1011,9 @@ let () =
         [ QCheck_alcotest.to_alcotest prop_request_roundtrip;
           QCheck_alcotest.to_alcotest prop_response_roundtrip;
           QCheck_alcotest.to_alcotest prop_framed_roundtrip;
-          Alcotest.test_case "garbage rejected" `Quick test_decode_rejects_garbage ] );
+          Alcotest.test_case "garbage rejected" `Quick test_decode_rejects_garbage;
+          Alcotest.test_case "sample wire compat" `Quick
+            test_sample_wire_compat ] );
       ( "daemon",
         [ Alcotest.test_case "concurrent clients, exact dedup" `Quick
             test_farm_matches_sequential_exactly_once;
@@ -928,7 +1022,9 @@ let () =
           Alcotest.test_case "garbage rejected loudly" `Quick
             test_daemon_rejects_garbage_loudly;
           Alcotest.test_case "inadmissible grids rejected" `Quick
-            test_daemon_rejects_inadmissible_grids ] );
+            test_daemon_rejects_inadmissible_grids;
+          Alcotest.test_case "sampled cells keyed apart from full" `Quick
+            test_daemon_sampled_cells_distinct ] );
       ( "lifecycle",
         [ Alcotest.test_case "over-cap connections shed" `Quick
             test_server_sheds_over_cap;

@@ -1,0 +1,322 @@
+(* Tests for lib/sample — interval (SMARTS-style) sampling with
+   confidence bounds, and checkpointed time-parallel simulation.
+
+   The acceptance bar: on every catalog workload the sampled CPI must
+   fall within its own declared 95% confidence interval of the full
+   detailed run, and the chunk-parallel engine must stitch statistics
+   that are byte-identical across pool sizes. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let cfg = Cpu_config.skylake
+
+let trace_of ?(input = Workload.Ref) ~instrs name =
+  let w = Catalog.make ~input ~instrs name in
+  Workload.trace w
+
+let layout_of trace =
+  Layout.compute ~critical:(fun _ -> false) trace.Executor.prog
+
+(* ---------------- Sample_config ---------------- *)
+
+let test_config_roundtrip () =
+  let s = Sample_config.default in
+  (match Sample_config.of_string (Sample_config.to_string s) with
+  | Ok s' -> check bool "default round-trips" true (s = s')
+  | Error msg -> Alcotest.failf "default did not round-trip: %s" msg);
+  match Sample_config.of_string "units=8,unit=500,warmup=1000,ci=0.01" with
+  | Error msg -> Alcotest.failf "explicit config rejected: %s" msg
+  | Ok s ->
+    check int "units" 8 s.Sample_config.units;
+    check int "unit" 500 s.Sample_config.unit_len;
+    check int "warmup" 1000 s.Sample_config.warmup_len;
+    check bool "ci" true (s.Sample_config.target_ci = Some 0.01);
+    check bool "canonical form round-trips" true
+      (Sample_config.of_string (Sample_config.to_string s) = Ok s)
+
+let test_config_rejects_garbage () =
+  List.iter
+    (fun spec ->
+      match Sample_config.of_string spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid config %S" spec)
+    [ "units=0"; "unit=-5"; "warmup=x"; "nonsense"; "units"; "ci=0";
+      "units=1,units" ]
+
+(* ---------------- the catalog-wide CI battery ---------------- *)
+
+(* Every workload, sampled at the default config, must land within its
+   own declared 95% CI of the full run's CPI.  Deterministic: unit
+   placement is systematic, so this either always holds or never does. *)
+let test_sampled_within_ci () =
+  let instrs = 100_000 in
+  let sample = Sample_config.default in
+  let failures =
+    List.filter_map
+      (fun name ->
+        let trace = trace_of ~instrs name in
+        let layout = layout_of trace in
+        let full = Cpu_core.run ~layout cfg trace in
+        let full_cpi =
+          float_of_int full.Cpu_stats.cycles
+          /. float_of_int full.Cpu_stats.retired
+        in
+        let s = Sampler.run ~layout ~sample cfg trace in
+        let err = Float.abs (s.Sampler.cpi_mean -. full_cpi) in
+        if err > s.Sampler.cpi_ci95 +. 1e-9 then
+          Some
+            (Printf.sprintf "%s: sampled %.4f vs full %.4f (|err| %.4f > ci %.4f)"
+               name s.Sampler.cpi_mean full_cpi err s.Sampler.cpi_ci95)
+        else None)
+      Catalog.names
+  in
+  if failures <> [] then
+    Alcotest.failf "%d workload(s) outside their declared CI:\n  %s"
+      (List.length failures)
+      (String.concat "\n  " failures)
+
+let test_sampler_deterministic () =
+  let trace = trace_of ~instrs:60_000 "mcf" in
+  let layout = layout_of trace in
+  let sample = Sample_config.default in
+  let a = Sampler.run ~layout ~sample cfg trace in
+  let b = Sampler.run ~layout ~sample cfg trace in
+  check bool "identical results on identical inputs" true (a = b);
+  check int "total instrs is the trace length" 60_000 a.Sampler.total_instrs;
+  check bool "measured a strict subset" true
+    (a.Sampler.measured_instrs > 0
+    && a.Sampler.measured_instrs < a.Sampler.total_instrs)
+
+let test_target_ci_grows_units () =
+  let trace = trace_of ~instrs:100_000 "gcc" in
+  let layout = layout_of trace in
+  let base = { Sample_config.default with Sample_config.units = 4 } in
+  let loose = Sampler.run ~layout ~sample:base cfg trace in
+  let tight =
+    Sampler.run ~layout
+      ~sample:{ base with Sample_config.target_ci = Some 0.005 }
+      cfg trace
+  in
+  check bool
+    (Printf.sprintf "target-CI run uses more units (%d vs %d)"
+       tight.Sampler.config.Sample_config.units
+       loose.Sampler.config.Sample_config.units)
+    true
+    (tight.Sampler.config.Sample_config.units
+    > loose.Sampler.config.Sample_config.units)
+
+(* ---------------- time-parallel chunking ---------------- *)
+
+let test_chunked_deterministic_across_pools () =
+  let trace = trace_of ~instrs:60_000 "mcf" in
+  let layout = layout_of trace in
+  let run pool = Chunked.run ~layout ~pool ~chunks:4 ~warmup:2_000 cfg trace in
+  let seq = run Exec.Pool.sequential in
+  let with_pool workers =
+    let pool = Exec.Pool.create ~workers () in
+    Fun.protect ~finally:(fun () -> Exec.Pool.shutdown pool) (fun () -> run pool)
+  in
+  let p2 = with_pool 2 in
+  let p8 = with_pool 8 in
+  check bool "jobs 1 = jobs 2" true (seq = p2);
+  check bool "jobs 1 = jobs 8" true (seq = p8);
+  check int "chunks used" 4 seq.Chunked.chunks;
+  check int "retired partitions the trace" 60_000
+    seq.Chunked.stats.Cpu_stats.retired
+
+let test_chunked_matches_full () =
+  let trace = trace_of ~instrs:60_000 "mcf" in
+  let layout = layout_of trace in
+  let full = Cpu_core.run ~layout cfg trace in
+  let r = Chunked.run ~layout ~chunks:4 ~warmup:5_000 cfg trace in
+  check int "retired exactly the trace" full.Cpu_stats.retired
+    r.Chunked.stats.Cpu_stats.retired;
+  check int "per-chunk retired sums to the trace" full.Cpu_stats.retired
+    (Array.fold_left
+       (fun a (s : Cpu_stats.t) -> a + s.Cpu_stats.retired)
+       0 r.Chunked.per_chunk);
+  (* Cold-start warmup re-converges the pipeline, so the stitched cycle
+     count tracks the monolithic run closely; 1% headroom covers the
+     boundary effects warmup cannot erase. *)
+  let rel =
+    Float.abs
+      (float_of_int r.Chunked.stats.Cpu_stats.cycles
+      -. float_of_int full.Cpu_stats.cycles)
+    /. float_of_int full.Cpu_stats.cycles
+  in
+  if rel > 0.01 then
+    Alcotest.failf "stitched cycles %d vs full %d (%.2f%% off, budget 1%%)"
+      r.Chunked.stats.Cpu_stats.cycles full.Cpu_stats.cycles (100. *. rel)
+
+let test_chunked_journal_reuse () =
+  let trace = trace_of ~instrs:40_000 "gcc" in
+  let layout = layout_of trace in
+  let path = Filename.temp_file "crisp_chunk" ".journal" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".bad"; path ^ ".tmp" ])
+    (fun () ->
+      let signature = "test chunked gcc 40k" in
+      let j1 = Resil.Journal.load ~path ~signature in
+      let a = Chunked.run ~layout ~journal:j1 ~chunks:4 ~warmup:2_000 cfg trace in
+      (* A fresh journal handle replays the recorded checkpoints. *)
+      let j2 = Resil.Journal.load ~path ~signature in
+      check bool "checkpoints recorded" true (Resil.Journal.size j2 > 0);
+      let b = Chunked.run ~layout ~journal:j2 ~chunks:4 ~warmup:2_000 cfg trace in
+      check bool "journalled rerun is identical" true (a = b))
+
+(* ---------------- fast-forward vs detailed prefix ---------------- *)
+
+(* Compact loop-bearing generator modeled on test_dataflow's: counted
+   loop of random blocks mixing masked loads/stores into a small image,
+   ALU/Mul/Div arithmetic and data-dependent forward branches. *)
+let words = 128
+let mem_base = 0x40000
+
+let random_program seed =
+  let rng = Prng.create (9_100 + seed) in
+  let reg () = 1 + Prng.int rng 8 in
+  let open Program in
+  let block b =
+    let body =
+      List.concat
+        (List.init
+           (2 + Prng.int rng 3)
+           (fun _ ->
+             match Prng.int rng 6 with
+             | 0 ->
+               [ Alu (Isa.And, 9, reg (), Imm (words - 1));
+                 Alu (Isa.Shl, 9, 9, Imm 3);
+                 Alu (Isa.Add, 9, 9, Imm mem_base);
+                 Ld (reg (), 9, 0) ]
+             | 1 ->
+               [ Alu (Isa.And, 9, reg (), Imm (words - 1));
+                 Alu (Isa.Shl, 9, 9, Imm 3);
+                 Alu (Isa.Add, 9, 9, Imm mem_base);
+                 St (reg (), 9, 0) ]
+             | 2 -> [ Mul (reg (), reg (), reg ()) ]
+             | 3 -> [ Li (reg (), Prng.int rng 10_000 - 5_000) ]
+             | _ ->
+               [ Alu
+                   ( (if Prng.int rng 2 = 0 then Isa.Add else Isa.Xor),
+                     reg (), reg (),
+                     if Prng.int rng 2 = 0 then Reg (reg ())
+                     else Imm (Prng.int rng 64) ) ]))
+    in
+    let skip = Printf.sprintf "skip%d" b in
+    body
+    @ [ Br
+          ( (match Prng.int rng 4 with
+            | 0 -> Isa.Lt
+            | 1 -> Isa.Ge
+            | 2 -> Isa.Eq
+            | _ -> Isa.Ne),
+            reg (), Imm (Prng.int rng 128), skip );
+        Alu (Isa.Xor, reg (), reg (), Imm (b + 1));
+        Label skip ]
+  in
+  let blocks = 2 + Prng.int rng 3 in
+  let code =
+    [ Label "loop" ]
+    @ List.concat (List.init blocks block)
+    @ [ Alu (Isa.Add, 10, 10, Imm 1);
+        Br (Isa.Lt, 10, Imm 1_000_000, "loop");
+        Halt ]
+  in
+  let prog = assemble ~name:(Printf.sprintf "sm%d" seed) code in
+  let reg_init = List.init 10 (fun r -> (r + 1, Prng.int rng 1_000)) in
+  let mem_init = Hashtbl.create 256 in
+  for i = 0 to words - 1 do
+    Hashtbl.replace mem_init (mem_base + (i * 8)) (Prng.int rng 1_000_000)
+  done;
+  (prog, reg_init, mem_init)
+
+(* Functional fast-forward must be architecturally exact: a mid-trace
+   snapshot at boundary [b] equals (registers and memory image, both) the
+   final state of a run truncated at [b]; the register half additionally
+   matches the live on_step replay oracle; and the detailed core, fed
+   the dyn-trace prefix, retires exactly [b] micro-ops.  Together these
+   pin the sampler's fast-forward to the state a detailed simulation
+   stopped at the same boundary would have. *)
+let prop_fast_forward_matches_detailed_prefix =
+  QCheck.Test.make
+    ~name:"fast-forward snapshot = truncated run = replay oracle" ~count:20
+    QCheck.small_int (fun seed ->
+      let prog, reg_init, mem_init = random_program seed in
+      let max_instrs = 3_000 in
+      let full = Executor.run ~reg_init ~mem_init ~max_instrs prog in
+      let n = Array.length full.Executor.dyns in
+      if n < 20 then true
+      else begin
+        let b = 1 + ((seed * 7919) mod (n - 1)) in
+        (* the Hashtbl is mutated by execution — fresh copy per run *)
+        let mem () = Hashtbl.copy mem_init in
+        let _, snaps =
+          Executor.snapshots ~reg_init ~mem_init:(mem ()) ~boundaries:[ b ]
+            ~max_instrs prog
+        in
+        let _, truncated =
+          Executor.snapshots ~reg_init ~mem_init:(mem ()) ~boundaries:[ b ]
+            ~max_instrs:b prog
+        in
+        let oracle_regs = ref [||] in
+        let count = ref 0 in
+        let on_step _pc regs =
+          if !count = b then oracle_regs := Array.copy regs;
+          incr count
+        in
+        ignore (Executor.run ~reg_init ~mem_init:(mem ()) ~on_step ~max_instrs prog);
+        match (snaps, truncated) with
+        | [ (b1, regs1, img1) ], [ (b2, regs2, img2) ] ->
+          if b1 <> b || b2 <> b then
+            QCheck.Test.fail_reportf "snapshot boundaries %d/%d, wanted %d" b1
+              b2 b
+          else if regs1 <> regs2 then
+            QCheck.Test.fail_report "registers: mid-trace snapshot <> truncated run"
+          else if img1 <> img2 then
+            QCheck.Test.fail_report "memory image: mid-trace snapshot <> truncated run"
+          else if !oracle_regs <> [||] && regs1 <> !oracle_regs then
+            QCheck.Test.fail_report "registers: snapshot <> on_step replay oracle"
+          else begin
+            let prefix =
+              { full with Executor.dyns = Array.sub full.Executor.dyns 0 b }
+            in
+            let layout = layout_of prefix in
+            let stats = Cpu_core.run ~layout cfg prefix in
+            if stats.Cpu_stats.retired <> b then
+              QCheck.Test.fail_reportf
+                "detailed prefix run retired %d, wanted exactly %d"
+                stats.Cpu_stats.retired b
+            else true
+          end
+        | _ ->
+          QCheck.Test.fail_reportf "expected one snapshot per run, got %d/%d"
+            (List.length snaps) (List.length truncated)
+      end)
+
+let () =
+  Alcotest.run "sample"
+    [ ( "config",
+        [ Alcotest.test_case "round-trip" `Quick test_config_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_config_rejects_garbage
+        ] );
+      ( "sampler",
+        [ Alcotest.test_case "catalog within declared CI" `Slow
+            test_sampled_within_ci;
+          Alcotest.test_case "deterministic" `Quick test_sampler_deterministic;
+          Alcotest.test_case "target CI grows units" `Quick
+            test_target_ci_grows_units ] );
+      ( "chunked",
+        [ Alcotest.test_case "deterministic across pools" `Quick
+            test_chunked_deterministic_across_pools;
+          Alcotest.test_case "matches the monolithic run" `Quick
+            test_chunked_matches_full;
+          Alcotest.test_case "journal reuse" `Quick test_chunked_journal_reuse
+        ] );
+      ( "fast_forward",
+        [ QCheck_alcotest.to_alcotest prop_fast_forward_matches_detailed_prefix
+        ] ) ]
